@@ -1,0 +1,120 @@
+"""E10 — Budget- and deadline-constrained scheduling.
+
+The headline of cost/time-aware modelling: the application states *money*
+(or *time*) and the system infers the resources. A 2 GB NEU -> NUS
+transfer is repeated under a sweep of budgets and a sweep of deadlines.
+Reproduced shape: realised cost never exceeds the budget beyond noise;
+buying more budget buys time with diminishing returns until the option
+curve saturates; looser deadlines buy money.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.core.strategy import SageStrategy
+from repro.simulation.units import GB, HOUR
+from repro.workloads.synthetic import fresh_engine
+
+SEED = 24010
+SIZE = 2 * GB
+#: All six sites: budget buys helper nodes *and* relay paths, so money
+#: keeps purchasing throughput well past the direct link's saturation.
+SPEC = {"NEU": 14, "WEU": 8, "NUS": 14, "SUS": 8, "EUS": 8, "WUS": 8}
+
+
+def realised_cost(result) -> float:
+    return result.egress_usd + result.vm_seconds_busy * 0.06 / HOUR
+
+
+def engine_30_nodes():
+    from repro.core.decision import DecisionConfig
+
+    return fresh_engine(
+        seed=SEED,
+        spec=SPEC,
+        learning_phase=240.0,
+        decision_config=DecisionConfig(max_nodes=30),
+    )
+
+
+def run_sweeps():
+    # Determine the feasible cost range from the model once.
+    probe = engine_30_nodes()
+    thr = probe.monitor.estimated_throughput("NEU", "NUS")
+    floor = probe.decisions.tradeoff.options(SIZE, thr, max_nodes=1)[0].usd
+
+    budgets = [floor * f for f in (1.05, 1.15, 1.4, 2.2, 3.0)]
+    budget_results = []
+    for budget in budgets:
+        engine = engine_30_nodes()
+        r = SageStrategy(budget_usd=budget, adaptive=False).run(
+            engine, "NEU", "NUS", SIZE
+        )
+        budget_results.append((budget, r.seconds, realised_cost(r)))
+
+    deadlines = (60.0, 120.0, 240.0, 600.0, 1800.0)
+    deadline_results = []
+    for deadline in deadlines:
+        engine = engine_30_nodes()
+        r = SageStrategy(deadline_s=deadline, adaptive=False).run(
+            engine, "NEU", "NUS", SIZE
+        )
+        deadline_results.append((deadline, r.seconds, realised_cost(r)))
+    return budget_results, deadline_results
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_budget_and_deadline(benchmark, report):
+    budget_results, deadline_results = benchmark.pedantic(
+        run_sweeps, rounds=1, iterations=1
+    )
+    btable = render_table(
+        ["budget $", "time (s)", "realised $"],
+        [[f"{b:.3f}", t, f"{c:.3f}"] for b, t, c in budget_results],
+        title="E10a — 'I have B dollars': time bought by budget (2 GB NEU->NUS)",
+        precision=1,
+    )
+    dtable = render_table(
+        ["deadline (s)", "time (s)", "realised $"],
+        [[int(d), t, f"{c:.3f}"] for d, t, c in deadline_results],
+        title="E10b — 'I need it by T': money saved by looser deadlines",
+        precision=1,
+    )
+
+    rec = ExperimentRecord("E10", "Budget/deadline constrained scheduling", SEED)
+    rec.check(
+        "realised cost stays within each budget (±15 % model error)",
+        all(c <= b * 1.15 for b, _, c in budget_results),
+        str([f"{c:.3f}<={b:.3f}" for b, _, c in budget_results]),
+    )
+    times = [t for _, t, _ in budget_results]
+    rec.check(
+        "more budget never buys a slower transfer",
+        all(times[i + 1] <= times[i] * 1.05 for i in range(len(times) - 1)),
+    )
+    rec.check(
+        "the budget lever is material",
+        times[-1] < 0.7 * times[0],
+        f"{times[0]:.0f}s -> {times[-1]:.0f}s",
+    )
+    rec.check(
+        "time saturates once the option curve is exhausted",
+        abs(times[-1] - times[-2]) / times[-2] < 0.15,
+    )
+    met = [(d, t) for d, t, _ in deadline_results]
+    rec.check(
+        "feasible deadlines are met (within model error)",
+        all(t <= d * 1.25 for d, t in met if d >= 120.0),
+        str([f"{t:.0f}/{d:.0f}" for d, t in met]),
+    )
+    dcosts = [c for _, _, c in deadline_results]
+    rec.check(
+        "looser deadlines cost no more",
+        all(dcosts[i + 1] <= dcosts[i] * 1.05 for i in range(len(dcosts) - 1)),
+        str([f"{c:.3f}" for c in dcosts]),
+    )
+    report("E10", btable, dtable, rec.render())
+    rec.assert_shape()

@@ -1,0 +1,173 @@
+"""E1 — Assessing the cloud infrastructure's variability.
+
+E1a: snapshot of the inter-datacenter throughput map (the figure the
+Monitoring Agent renders for the whole Azure deployment).
+
+E1b: a week of measurements from North Europe to the five other sites —
+TCP throughput and blob staging times — reproducing the published
+qualitative findings: double-digit relative variability, no useful trend,
+and occasional deep drops, on the near and the far datacenters alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.cloud.deployment import CloudEnvironment
+from repro.monitor.agent import MonitorConfig, MonitoringAgent
+from repro.simulation.units import DAY, HOUR, MB, MINUTE
+
+SEED = 20130521
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1a_throughput_map(benchmark, report):
+    def run():
+        env = CloudEnvironment(seed=SEED)
+        for code in env.topology.region_codes():
+            env.provision(code, "Small", 2)
+        agent = MonitoringAgent(
+            env.network, env.deployment, MonitorConfig(interval=MINUTE)
+        )
+        agent.watch_all_links()
+        agent.start()
+        env.run_until(30 * MINUTE)
+        return env, agent
+
+    env, agent = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = agent.link_map.matrix_rows()
+    table = render_table(rows[0], rows[1:], title="E1a — inter-DC throughput map (MB/s)")
+
+    rec = ExperimentRecord("E1a", "Inter-datacenter throughput map", SEED)
+    ests = {
+        pair: agent.link_map.estimate(*pair).mean
+        for pair in agent.link_map.pairs()
+    }
+    rec.check("all 30 directed pairs measured", len(ests) == 30)
+    same = [
+        v
+        for (s, d), v in ests.items()
+        if (s in ("NEU", "WEU")) == (d in ("NEU", "WEU"))
+    ]
+    cross = [
+        v
+        for (s, d), v in ests.items()
+        if (s in ("NEU", "WEU")) != (d in ("NEU", "WEU"))
+    ]
+    rec.check(
+        "same-continent links faster than transcontinental",
+        np.mean(same) > 1.5 * np.mean(cross),
+        f"{np.mean(same) / MB:.1f} vs {np.mean(cross) / MB:.1f} MB/s",
+    )
+    intra = env.deployment.vms("NEU")[0].size.nic_bytes_per_s
+    rec.check(
+        "intra-DC transfers much faster than wide-area",
+        intra > 2.0 * np.mean(cross),
+        f"{intra / MB:.1f} vs {np.mean(cross) / MB:.1f} MB/s",
+    )
+    asym = [
+        abs(ests[(a, b)] - ests[(b, a)]) / ests[(a, b)]
+        for (a, b) in ests
+        if (b, a) in ests
+    ]
+    rec.check("links are asymmetric", max(asym) > 0.05)
+    report("E1a", table, rec.render())
+    rec.assert_shape()
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1b_weekly_variability(benchmark, report):
+    targets = ["WEU", "NUS", "SUS", "EUS", "WUS"]
+
+    def run():
+        env = CloudEnvironment(seed=SEED + 1)
+        env.provision("NEU", "Small", 2)
+        for code in targets:
+            env.provision(code, "Small", 1)
+        agent = MonitoringAgent(
+            env.network,
+            env.deployment,
+            MonitorConfig(interval=5 * MINUTE),
+        )
+        for code in targets:
+            agent.watch_link("NEU", code)
+        agent.start()
+
+        # Hourly 100 MB blob staging to the remote store (writing phase of
+        # the storage experiment).
+        blob_times: dict[str, list[float]] = {c: [] for c in targets}
+
+        def stage(code: str) -> None:
+            t0 = env.now
+            env.blob(code).put(
+                env.deployment.vms("NEU")[0],
+                f"probe-{code}-{env.now:.0f}",
+                100 * MB,
+                on_done=lambda obj: blob_times[code].append(env.now - t0),
+            )
+
+        for code in targets:
+            env.sim.add_periodic(2 * HOUR, stage, code)
+        env.run_until(7 * DAY)
+        return env, agent, blob_times
+
+    env, agent, blob_times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    rec = ExperimentRecord("E1b", "A week of NEU->* performance", SEED + 1)
+    cvs = {}
+    for code in targets:
+        hist = agent.history(f"thr/NEU->{code}")
+        s = summarize(hist.values())
+        blobs = summarize(blob_times[code])
+        cvs[code] = s.cv
+        rows.append(
+            [
+                f"NEU->{code}",
+                s.mean / MB,
+                s.std / MB,
+                100 * s.cv,
+                s.minimum / MB,
+                blobs.mean,
+                blobs.std,
+            ]
+        )
+    table = render_table(
+        ["link", "thr mean MB/s", "std", "CV %", "min", "blob 100MB s", "std"],
+        rows,
+        title="E1b — one week of measurements from North Europe",
+    )
+    rec.check(
+        "double-digit relative variability on WAN throughput",
+        all(0.05 < cv < 0.45 for cv in cvs.values()),
+        str({k: round(v, 2) for k, v in cvs.items()}),
+    )
+    # No useful trend: first-half and second-half weekly means agree.
+    drifts = []
+    for code in targets:
+        hist = agent.history(f"thr/NEU->{code}")
+        vals = hist.values()
+        half = len(vals) // 2
+        drifts.append(abs(vals[:half].mean() - vals[half:].mean()) / vals.mean())
+    rec.check("no weekly trend (halves agree within 15 %)", max(drifts) < 0.15,
+              f"max drift {max(drifts):.2%}")
+    deep = [
+        agent.history(f"thr/NEU->{c}").values().min()
+        / agent.history(f"thr/NEU->{c}").mean()
+        for c in targets
+    ]
+    rec.check(
+        "occasional deep performance drops (glitches) visible",
+        min(deep) < 0.55,
+        f"deepest drop to {min(deep):.0%} of mean",
+    )
+    rec.check(
+        "variability affects near and far datacenters alike",
+        cvs["WEU"] > 0.05 and cvs["WUS"] > 0.05,
+    )
+    report("E1b", table, rec.render())
+    rec.assert_shape()

@@ -1,0 +1,130 @@
+"""E2 — Evaluating the performance prediction.
+
+24 hours of minute-granularity throughput samples on the NEU->NUS link;
+three sample-integration strategies (plus the EWMA ablation) predict what
+the decision engine actually needs: the link's *mean deliverable
+throughput over the next transfer* (a 15-minute horizon — transfers
+planned from the model run for minutes, not for one sample interval).
+Probe samples carry realistic measurement dispersion (~15 %: small probe
+payloads over a WAN are noisy).
+
+Reproduced shape: the last-sample "Monitor" strategy inherits every probe
+fluctuation and loses; plain sliding integration (LSI) and weighted
+integration (WSI) are close in calm periods; WSI is the smoothest and
+lands in the ~10 % relative-error band the original reports as easily
+tolerable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.cloud.deployment import CloudEnvironment
+from repro.monitor.estimators import make_estimator
+from repro.simulation.units import HOUR, MB, MINUTE
+
+SEED = 24001
+STRATEGIES = ("Monitor", "LSI", "WSI", "EWMA")
+#: Horizon (in minutes) a planned transfer runs for — the prediction target.
+HORIZON = 15
+#: Relative dispersion of one probe measurement.
+PROBE_NOISE = 0.15
+
+
+def collect_trace():
+    """A day of (observed sample, true link rate) pairs, one per minute."""
+    env = CloudEnvironment(seed=SEED)
+    src = env.provision("NEU", "Small")[0]
+    dst = env.provision("NUS", "Small")[0]
+    noise = env.sim.rngs.get("e2/observation-noise")
+    observed, truth = [], []
+    t = 0.0
+    while t < 24 * HOUR:
+        env.run_until(t)
+        real = env.network.isolated_rate([src, dst], streams=4)
+        observed.append(real * noise.lognormal(0.0, PROBE_NOISE))
+        truth.append(real)
+        t += MINUTE
+    return np.array(observed), np.array(truth)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_prediction_accuracy(benchmark, report):
+    observed, truth = benchmark.pedantic(collect_trace, rounds=1, iterations=1)
+    # Prediction target: mean deliverable rate over the next HORIZON mins.
+    kernel = np.ones(HORIZON) / HORIZON
+    target_full = np.convolve(truth, kernel, mode="valid")  # target[i] = mean truth[i:i+H]
+    n = len(target_full) - 1
+    estimators = {name: make_estimator(name) for name in STRATEGIES}
+    errors = {name: np.zeros(n) for name in STRATEGIES}
+    estimates = {name: np.zeros(n) for name in STRATEGIES}
+    for i in range(n):
+        for name, est in estimators.items():
+            est.update(i * MINUTE, observed[i])
+            estimates[name][i] = est.mean
+            target = target_full[i + 1]
+            errors[name][i] = abs(est.mean - target) / target
+    n = n + 1  # keep the hourly reshape arithmetic below unchanged
+
+    # Hourly error profile (the 24-point series of the accuracy figure).
+    hourly_rows = []
+    per_hour = {name: errors[name][: (n - 1) // 60 * 60].reshape(-1, 60)
+                for name in STRATEGIES}
+    for h in range(per_hour["WSI"].shape[0]):
+        hourly_rows.append(
+            [h]
+            + [100 * per_hour[name][h].mean() for name in ("Monitor", "LSI", "WSI")]
+        )
+    table_hourly = render_table(
+        ["hour", "Monitor err %", "LSI err %", "WSI err %"],
+        hourly_rows,
+        title="E2a — hourly mean relative error of the link model",
+        precision=1,
+    )
+
+    agg_rows = [
+        [name, 100 * errors[name].mean(), 100 * np.percentile(errors[name], 95)]
+        for name in STRATEGIES
+    ]
+    table_agg = render_table(
+        ["strategy", "mean err %", "p95 err %"],
+        agg_rows,
+        title="E2b — aggregated approximation error (24 h)",
+    )
+
+    mean_err = {name: errors[name].mean() for name in STRATEGIES}
+    smooth = {
+        name: np.abs(np.diff(estimates[name])).mean() for name in STRATEGIES
+    }
+    rec = ExperimentRecord("E2", "Prediction accuracy of sample integration", SEED)
+    rec.check(
+        "WSI beats the Monitor (last-sample) strategy",
+        mean_err["WSI"] < mean_err["Monitor"],
+        f"WSI {mean_err['WSI']:.1%} vs Monitor {mean_err['Monitor']:.1%}",
+    )
+    rec.check(
+        "WSI at least matches LSI overall",
+        mean_err["WSI"] <= mean_err["LSI"] * 1.05,
+        f"WSI {mean_err['WSI']:.1%} vs LSI {mean_err['LSI']:.1%}",
+    )
+    rec.check(
+        "model error is tolerable (≈10-15 %)",
+        mean_err["WSI"] < 0.18,
+        f"{mean_err['WSI']:.1%}",
+    )
+    rec.check(
+        "WSI produces the smoothest approximation",
+        smooth["WSI"] <= min(smooth["Monitor"], smooth["LSI"]) * 1.05,
+        f"mean |Δestimate| WSI {smooth['WSI'] / MB:.3f} vs "
+        f"Monitor {smooth['Monitor'] / MB:.3f} MB/s",
+    )
+    rec.check(
+        "fixed-gain EWMA ablation does not beat adaptive weighting",
+        mean_err["WSI"] <= mean_err["EWMA"] * 1.10,
+        f"WSI {mean_err['WSI']:.1%} vs EWMA {mean_err['EWMA']:.1%}",
+    )
+    report("E2", table_hourly, table_agg, rec.render())
+    rec.assert_shape()

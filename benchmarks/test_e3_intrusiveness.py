@@ -1,0 +1,89 @@
+"""E3 — Evaluating the intrusiveness control.
+
+1 GB NEU -> NUS while varying (a) how many VMs participate (1–5) and
+(b) what fraction of each VM's resources the transfer may take (the
+intrusiveness parameter). Reproduced shape: transfer time falls both with
+more nodes and with a larger resource share, with diminishing returns on
+nodes — supporting the design choice of fine-grained resource control.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.core.strategy import SageStrategy
+from repro.simulation.units import GB
+from repro.workloads.synthetic import fresh_engine
+
+SEED = 24003
+INTRUSIVENESS = (0.05, 0.10, 0.25, 0.50, 1.00)
+NODES = (1, 2, 3, 4, 5)
+SIZE = 1 * GB
+
+
+def run_grid():
+    grid: dict[tuple[float, int], float] = {}
+    for intr in INTRUSIVENESS:
+        for n in NODES:
+            engine = fresh_engine(
+                seed=SEED, spec={"NEU": 6, "NUS": 6}, learning_phase=180.0
+            )
+            strat = SageStrategy(n_nodes=n, intrusiveness=intr, adaptive=False)
+            grid[(intr, n)] = strat.run(engine, "NEU", "NUS", SIZE).seconds
+    return grid
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_intrusiveness(benchmark, report):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        [f"{intr:.0%}"] + [grid[(intr, n)] for n in NODES]
+        for intr in INTRUSIVENESS
+    ]
+    table = render_table(
+        ["intrusiveness"] + [f"{n} VM" for n in NODES],
+        rows,
+        title="E3 — transfer time (s) of 1 GB NEU->NUS",
+        precision=1,
+    )
+
+    rec = ExperimentRecord(
+        "E3", "Impact of intrusiveness on transfer time", SEED,
+        parameters={"size": "1 GB", "pair": "NEU->NUS"},
+    )
+    rec.check(
+        "higher intrusiveness reduces transfer time at every node count",
+        all(
+            grid[(INTRUSIVENESS[i], n)] >= grid[(INTRUSIVENESS[i + 1], n)] * 0.98
+            for n in NODES
+            for i in range(len(INTRUSIVENESS) - 1)
+        ),
+    )
+    rec.check(
+        "more nodes reduce transfer time at every intrusiveness level",
+        all(
+            grid[(intr, NODES[i])] >= grid[(intr, NODES[i + 1])] * 0.98
+            for intr in INTRUSIVENESS
+            for i in range(len(NODES) - 1)
+        ),
+    )
+    # Diminishing returns: the 1→2 node gain exceeds the 4→5 node gain.
+    gains_low = [
+        grid[(intr, 1)] - grid[(intr, 2)] for intr in INTRUSIVENESS
+    ]
+    gains_high = [
+        grid[(intr, 4)] - grid[(intr, 5)] for intr in INTRUSIVENESS
+    ]
+    rec.check(
+        "adding nodes shows diminishing returns",
+        all(lo >= hi for lo, hi in zip(gains_low, gains_high)),
+    )
+    rec.check(
+        "a 5 % intrusiveness single-node transfer is far slower than full",
+        grid[(0.05, 1)] > 5 * grid[(1.0, 1)],
+        f"{grid[(0.05, 1)]:.0f}s vs {grid[(1.0, 1)]:.0f}s",
+    )
+    report("E3", table, rec.render())
+    rec.assert_shape()

@@ -1,0 +1,261 @@
+"""E9 — Geo-distributed stream analysis latency.
+
+The streaming layer's own evaluation: sensor-style streams at three edge
+sites, global per-site window statistics at an aggregation site.
+
+E9a sweeps the per-site event rate and measures end-to-end result latency
+(event-time window close → global emission) with the site-local partial
+aggregation the design prescribes, and — ablation — shipping raw records.
+Reproduced shape: latency is flat while resources keep up and knees when
+a stage saturates; the raw-record ablation ships orders of magnitude more
+over the WAN and saturates far earlier.
+
+E9b sweeps batching policies on the bursty clickstream workload: small
+time-triggered batches minimise latency but maximise per-batch overhead;
+big size-triggered batches the reverse; the link-aware adaptive policy
+sits near the best of both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.simulation.units import KB, MB
+from repro.streaming.batching import (
+    AdaptiveBatchPolicy,
+    HybridBatchPolicy,
+    SizeBatchPolicy,
+    TimeBatchPolicy,
+)
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import builtin_aggregate
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import DirectShipping, SageShipping, UdpShipping
+from repro.streaming.sources import PoissonSource
+from repro.streaming.windows import TumblingWindows
+from repro.workloads.clickstream import clickstream_job
+from repro.workloads.synthetic import fresh_engine
+
+SEED = 24009
+SPEC = {"NEU": 3, "WEU": 3, "EUS": 3, "NUS": 3}
+DURATION = 120.0
+SITES = ("NEU", "WEU", "EUS")
+
+
+def make_rate_job(rate: float, ship_raw: bool) -> StreamJob:
+    return StreamJob(
+        name=f"rate-{rate}",
+        sites=[
+            SiteSpec(
+                r,
+                [PoissonSource(f"s-{r}", rate=rate, keys=[r], record_bytes=200.0)],
+            )
+            for r in SITES
+        ],
+        aggregation_region="NUS",
+        windows=TumblingWindows(10.0),
+        aggregate=builtin_aggregate("mean"),
+        ship_raw_records=ship_raw,
+    )
+
+
+def run_e9a():
+    rates = (200.0, 1000.0, 5000.0, 20000.0)
+    out = {}
+    for rate in rates:
+        for raw in (False, True):
+            engine = fresh_engine(seed=SEED, spec=SPEC, learning_phase=120.0)
+            runtime = GeoStreamRuntime(
+                engine,
+                make_rate_job(rate, raw),
+                SageShipping.factory(n_nodes=2),
+                per_vm_records_per_s=5000.0,
+            )
+            runtime.run_for(DURATION)
+            stats = runtime.latency_stats()
+            out[(rate, raw)] = (stats.p50, stats.p95, runtime.wan_bytes())
+    return rates, out
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9a_latency_vs_rate(benchmark, report):
+    rates, out = benchmark.pedantic(run_e9a, rounds=1, iterations=1)
+    rows = []
+    for rate in rates:
+        p50, p95, wan = out[(rate, False)]
+        p50r, p95r, wanr = out[(rate, True)]
+        rows.append(
+            [int(rate), p50, p95, wan / KB, p50r, p95r, wanr / KB]
+        )
+    table = render_table(
+        ["rate/site", "p50 (s)", "p95 (s)", "WAN KB",
+         "raw p50", "raw p95", "raw WAN KB"],
+        rows,
+        title="E9a — end-to-end result latency vs event rate (3 sites -> NUS)",
+    )
+
+    rec = ExperimentRecord(
+        "E9a", "Stream latency vs rate; local-aggregation ablation", SEED,
+        parameters={"window": "10 s", "duration": f"{DURATION:.0f} s"},
+    )
+    flat = out[(rates[0], False)][1] / out[(rates[1], False)][1]
+    rec.check(
+        "latency is rate-independent while resources keep up",
+        0.7 < flat < 1.4,
+        f"p95 ratio 200 vs 1000 ev/s: {1 / flat:.2f}",
+    )
+    rec.check(
+        "overload knees the latency curve (site CPU saturates at 15k/s)",
+        out[(20000.0, False)][1] > 2.0 * out[(1000.0, False)][1],
+        f"p95 {out[(20000.0, False)][1]:.1f}s vs {out[(1000.0, False)][1]:.1f}s",
+    )
+    rec.check(
+        "local partial aggregation slashes WAN volume",
+        all(
+            out[(r, True)][2] > 20 * out[(r, False)][2] for r in rates
+        ),
+        f"raw/partial WAN ratio at 5k ev/s: "
+        f"{out[(5000.0, True)][2] / out[(5000.0, False)][2]:.0f}x",
+    )
+    report("E9a", table, rec.render())
+    rec.assert_shape()
+
+
+def run_e9b():
+    # Batching only matters where there is volume to batch: the policies
+    # are compared on the raw-record shipping path of the bursty
+    # clickstream (the partial-aggregate path ships a few KB per window
+    # regardless of policy).
+    def run_policy(name, factory):
+        engine = fresh_engine(seed=SEED + 1, spec=SPEC, learning_phase=120.0)
+        if factory is None:  # adaptive needs the engine's link estimate
+            factory = lambda: AdaptiveBatchPolicy(  # noqa: E731
+                lambda: engine.monitor.estimated_throughput("NEU", "NUS"),
+                target_occupancy=0.05,
+                max_delay=1.0,
+            )
+        job = clickstream_job(
+            site_regions=list(SITES),
+            aggregation_region="NUS",
+            batch_policy_factory=factory,
+            ship_raw_records=True,
+        )
+        runtime = GeoStreamRuntime(
+            engine, job, SageShipping.factory(n_nodes=2)
+        )
+        runtime.run_for(DURATION)
+        return runtime
+
+    out = {}
+    out["time(0.2s)"] = run_policy("time", lambda: TimeBatchPolicy(0.2))
+    out["size(512KB)"] = run_policy("size", lambda: SizeBatchPolicy(512 * KB))
+    out["hybrid(64KB,1s)"] = run_policy(
+        "hybrid", lambda: HybridBatchPolicy(64 * KB, 1.0)
+    )
+    out["adaptive"] = run_policy("adaptive", None)
+    return out
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9b_batching_policies(benchmark, report):
+    out = benchmark.pedantic(run_e9b, rounds=1, iterations=1)
+    rows = []
+    metrics = {}
+    for name, runtime in out.items():
+        stats = runtime.latency_stats()
+        batches = sum(s.shipping.batches_shipped for s in runtime.sites.values())
+        per_batch = runtime.wan_bytes() / max(batches, 1)
+        metrics[name] = (stats.p50, batches, per_batch)
+        rows.append([name, stats.p50, stats.p95, batches, per_batch / KB])
+    table = render_table(
+        ["policy", "p50 lat (s)", "p95 (s)", "batches", "KB/batch"],
+        rows,
+        title="E9b — batching policy trade-off on the bursty clickstream",
+    )
+
+    p95 = {name: out[name].latency_stats().p95 for name in out}
+    rec = ExperimentRecord("E9b", "Batching policy sweep", SEED + 1)
+    min_p95 = min(p95.values())
+    rec.check(
+        "time-triggered batching bounds staleness (tail latency near floor)",
+        p95["time(0.2s)"] <= 1.10 * min_p95,
+        f"p95 {p95['time(0.2s)']:.2f}s vs floor {min_p95:.2f}s",
+    )
+    rec.check(
+        "large fixed-size batches maximise per-batch efficiency but pay "
+        "tail latency (fill time depends on the burst state)",
+        metrics["size(512KB)"][2] >= max(m[2] for m in metrics.values()) - 1e-9
+        and p95["size(512KB)"] > 1.25 * min_p95,
+        f"{metrics['size(512KB)'][2] / 1024:.0f} KB/batch, "
+        f"p95 {p95['size(512KB)']:.2f}s",
+    )
+    rec.check(
+        "smaller thresholds produce more, smaller batches",
+        metrics["hybrid(64KB,1s)"][1] > metrics["size(512KB)"][1]
+        and metrics["hybrid(64KB,1s)"][2] < metrics["size(512KB)"][2],
+    )
+    rec.check(
+        "the link-aware adaptive policy keeps tail latency at the eager "
+        "level while cutting fewer, larger batches than the eager policies",
+        p95["adaptive"] <= 1.10 * min_p95
+        and metrics["adaptive"][2] > metrics["hybrid(64KB,1s)"][2],
+        f"p95 {p95['adaptive']:.2f}s, "
+        f"{metrics['adaptive'][2] / 1024:.0f} KB/batch",
+    )
+    report("E9b", table, rec.render())
+    rec.assert_shape()
+
+
+def run_e9c():
+    """TCP vs UDP shipping on the same stream (the protocol extension)."""
+    out = {}
+    for name, factory in (
+        ("tcp-direct", DirectShipping.factory(streams=1)),
+        ("udp", UdpShipping.factory(base_loss=0.01)),
+    ):
+        engine = fresh_engine(seed=SEED + 2, spec=SPEC, learning_phase=120.0)
+        job = make_rate_job(1000.0, ship_raw=False)
+        job.finalize_grace = 2.0  # tight grace to expose shipping latency
+        runtime = GeoStreamRuntime(engine, job, factory)
+        runtime.run_for(DURATION)
+        out[name] = runtime
+    return out
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9c_udp_protocol_extension(benchmark, report):
+    out = benchmark.pedantic(run_e9c, rounds=1, iterations=1)
+    rows = []
+    for name, runtime in out.items():
+        stats = runtime.latency_stats()
+        counted = sum(r.record_count for r in runtime.results)
+        lost = getattr(
+            next(iter(runtime.sites.values())).shipping, "batches_lost", 0
+        )
+        rows.append([name, stats.p50, stats.p95, counted, lost])
+    table = render_table(
+        ["transport", "p50 lat (s)", "p95 (s)", "records counted", "batches lost/site"],
+        rows,
+        title="E9c — TCP vs UDP shipping of window partials",
+    )
+
+    tcp = out["tcp-direct"].latency_stats()
+    udp = out["udp"].latency_stats()
+    tcp_counted = sum(r.record_count for r in out["tcp-direct"].results)
+    udp_counted = sum(r.record_count for r in out["udp"].results)
+    rec = ExperimentRecord("E9c", "UDP protocol extension", SEED + 2)
+    rec.check(
+        "datagram shipping cuts result latency (no window, no ack RTT)",
+        udp.p50 < tcp.p50,
+        f"p50 {udp.p50:.2f}s vs {tcp.p50:.2f}s",
+    )
+    rec.check(
+        "the price is bounded, non-silent loss",
+        0.8 * tcp_counted <= udp_counted <= tcp_counted,
+        f"{udp_counted} vs {tcp_counted} records counted",
+    )
+    report("E9c", table, rec.render())
+    rec.assert_shape()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Exploring the money/time trade-off before committing to a transfer.
+
+The decision engine's models are exposed directly, so an operator can ask
+"what would it cost?" without moving a byte: this example prints the full
+cost/time curve for a 4 GB transatlantic transfer, its Pareto front and
+knee, then executes the knee plan and compares prediction with outcome.
+
+Run: ``python examples/budget_planner.py``
+"""
+
+from repro import SageSession
+from repro.analysis.tables import render_table
+from repro.simulation.units import GB, format_duration
+
+SIZE = 4 * GB
+
+
+def main() -> None:
+    session = SageSession(
+        deployment={"NEU": 8, "WEU": 3, "EUS": 3, "NUS": 8}, seed=5
+    )
+    dm = session.engine.decisions
+    thr = session.estimated_throughput("NEU", "NUS")
+    print(f"Current NEU->NUS estimate: {thr / 1e6:.1f} MB/s\n")
+
+    options = dm.tradeoff.options(SIZE, thr, max_nodes=12)
+    front = dm.tradeoff.pareto_front(options)
+    knee = dm.tradeoff.knee(options)
+    rows = [
+        [
+            o.n_nodes,
+            format_duration(o.predicted_time),
+            f"${o.usd:.3f}",
+            "*" if o in front else "",
+            "<- knee" if o is knee else "",
+        ]
+        for o in options
+    ]
+    print(
+        render_table(
+            ["nodes", "predicted time", "predicted cost", "pareto", ""],
+            rows,
+            title=f"Cost/time curve for a {SIZE / GB:.0f} GB NEU->NUS transfer",
+        )
+    )
+
+    print("\nExecuting the knee configuration...")
+    result = session.transfer("NEU", "NUS", SIZE, n_nodes=knee.n_nodes)
+    print(
+        f"predicted {format_duration(knee.predicted_time)} / ${knee.usd:.3f}"
+        f"  ->  measured {format_duration(result.seconds)} / ${result.usd:.3f}"
+        f"  (error {abs(result.seconds - knee.predicted_time) / knee.predicted_time:.0%})"
+    )
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

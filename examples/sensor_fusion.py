@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Geo-distributed sensor fusion: the motivating streaming scenario.
+
+Three sensor fields (2000 sensors each) report through their nearest
+datacenter; the analysis wants global per-region temperature statistics
+every 30 seconds at a single aggregation site. The example contrasts two
+designs on identical input:
+
+* **ship raw records** — every reading crosses the WAN;
+* **site-local aggregation** (the SAGE design) — each site folds its
+  readings into mergeable window partials first.
+
+Run: ``python examples/sensor_fusion.py``
+"""
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+from repro.analysis.tables import render_table
+from repro.simulation.units import MB, format_bytes
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import SageShipping
+from repro.workloads.sensors import sensor_fusion_job
+
+DURATION = 300.0
+
+
+def run(ship_raw: bool, seed: int = 7):
+    env = CloudEnvironment(seed=seed)
+    engine = SageEngine(
+        env, deployment_spec={"NEU": 3, "WEU": 3, "EUS": 3, "NUS": 3}
+    )
+    engine.start(learning_phase=120.0)
+    job = sensor_fusion_job(ship_raw_records=ship_raw)
+    runtime = GeoStreamRuntime(engine, job, SageShipping.factory(n_nodes=2))
+    runtime.run_for(DURATION)
+    return runtime
+
+
+def main() -> None:
+    print("Running sensor fusion twice on identical sensor data...")
+    rows = []
+    for label, raw in (("site-local partials", False), ("raw records", True)):
+        rt = run(ship_raw=raw)
+        stats = rt.latency_stats()
+        rows.append(
+            [
+                label,
+                rt.records_ingested(),
+                len(rt.results),
+                format_bytes(rt.wan_bytes()),
+                f"{stats.p50:.1f}",
+                f"{stats.p95:.1f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["design", "readings", "results", "WAN bytes", "p50 lat (s)",
+             "p95 lat (s)"],
+            rows,
+            title=f"Global 30 s statistics over {DURATION:.0f} s of sensor data",
+        )
+    )
+    print(
+        "\nLocal aggregation ships orders of magnitude less over the wide"
+        " area for the same results."
+    )
+    rt = run(ship_raw=False, seed=8)
+    sample = [r for r in rt.results][:3]
+    print("\nSample global window results:")
+    for r in sample:
+        print(
+            f"  window [{r.window.start:.0f},{r.window.end:.0f}) {r.key}: "
+            f"mean={r.value:.2f} from {r.sites} site(s), "
+            f"{r.record_count} readings, latency {r.latency:.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

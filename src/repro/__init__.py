@@ -1,0 +1,26 @@
+"""SAGE reproduction: geo-distributed streaming data analysis in clouds.
+
+The package layers, bottom-up:
+
+* :mod:`repro.simulation` — deterministic discrete-event kernel;
+* :mod:`repro.cloud` — the simulated multi-datacenter cloud (regions,
+  VMs, variable WAN links, blob storage, pricing);
+* :mod:`repro.monitor` — the Monitoring Agent and its estimators;
+* :mod:`repro.transfer` — the Transfer Agent (chunks, routes, sessions);
+* :mod:`repro.core` — the Decision Manager: cost/time models, trade-off
+  engine, multi-datacenter path selection, and the public
+  :class:`~repro.core.api.SageSession` facade;
+* :mod:`repro.streaming` — geo-distributed stream analysis on top of the
+  managed transfer substrate;
+* :mod:`repro.baselines` — comparison systems (direct, static parallel,
+  shortest-path variants, blob staging, GridFTP-like);
+* :mod:`repro.workloads` — synthetic and application workloads (A-Brain);
+* :mod:`repro.analysis` — statistics and experiment-report helpers.
+"""
+
+from repro.core.api import SageSession, TransferResult
+from repro.core.engine import SageEngine
+
+__version__ = "1.0.0"
+
+__all__ = ["SageSession", "TransferResult", "SageEngine", "__version__"]

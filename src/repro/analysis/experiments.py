@@ -1,0 +1,70 @@
+"""Experiment records: expected shape vs. measured outcome.
+
+Every bench target builds an :class:`ExperimentRecord`, attaches the
+measured numbers and a list of :class:`ShapeCheck` assertions (the
+qualitative claims we hold the reproduction to — who wins, by what rough
+factor), and prints a verdict block. EXPERIMENTS.md aggregates these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim about an experiment's outcome."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"  [{mark}] {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentRecord:
+    """One table/figure reproduction."""
+
+    exp_id: str
+    name: str
+    seed: int
+    parameters: dict = field(default_factory=dict)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def check(self, claim: str, passed: bool, detail: str = "") -> ShapeCheck:
+        sc = ShapeCheck(claim, bool(passed), detail)
+        self.checks.append(sc)
+        return sc
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.exp_id}: {self.name} (seed={self.seed}) ==",
+        ]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            lines.append(f"  params: {params}")
+        lines.extend(c.render() for c in self.checks)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        verdict = "SHAPE OK" if self.all_passed else "SHAPE MISMATCH"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+    def assert_shape(self) -> None:
+        """Raise if any shape check failed (used by bench assertions)."""
+        if not self.all_passed:
+            failed = [c.claim for c in self.checks if not c.passed]
+            raise AssertionError(
+                f"{self.exp_id} shape mismatch: {failed}\n{self.render()}"
+            )

@@ -1,0 +1,94 @@
+"""Introspection-as-a-Service: delivered-performance reports.
+
+The forward-looking idea from the conclusion: the same monitoring that
+drives transfer decisions can be *exposed* — to users, as visibility into
+the service levels their deployment actually receives; and to providers,
+as a metric describing resource configurations. This module turns a
+monitoring agent's state into such a report: per-link delivered
+throughput percentiles, an availability-style "within x% of nominal"
+score, and the learned capacity map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.agent import MonitoringAgent
+from repro.simulation.units import MB
+
+
+@dataclass(frozen=True)
+class LinkSLA:
+    """Delivered service level of one directed inter-datacenter link."""
+
+    src: str
+    dst: str
+    samples: int
+    mean: float
+    p05: float
+    p50: float
+    p95: float
+    #: Fraction of samples delivering at least 80 % of the median.
+    consistency: float
+    #: Learned aggregate capacity (None until the link has been loaded).
+    capacity: float | None
+
+    @property
+    def grade(self) -> str:
+        """Letter grade for quick triage."""
+        if self.consistency >= 0.95:
+            return "A"
+        if self.consistency >= 0.85:
+            return "B"
+        if self.consistency >= 0.70:
+            return "C"
+        return "D"
+
+
+def link_sla(monitor: MonitoringAgent, src: str, dst: str) -> LinkSLA:
+    """Compute the delivered SLA of one monitored link."""
+    history = monitor.histories.get(f"thr/{src}->{dst}")
+    if history is None or len(history) == 0:
+        raise ValueError(f"no samples recorded for {src}->{dst}")
+    values = history.values()
+    p50 = float(np.percentile(values, 50))
+    consistency = float((values >= 0.8 * p50).mean())
+    return LinkSLA(
+        src=src,
+        dst=dst,
+        samples=int(values.size),
+        mean=float(values.mean()),
+        p05=float(np.percentile(values, 5)),
+        p50=p50,
+        p95=float(np.percentile(values, 95)),
+        consistency=consistency,
+        capacity=monitor.capacity_estimate(src, dst),
+    )
+
+
+def introspection_report(monitor: MonitoringAgent) -> str:
+    """Render the full delivered-performance report."""
+    lines = [
+        "Introspection-as-a-Service — delivered inter-datacenter performance",
+        "=" * 68,
+        f"{'link':12s} {'n':>5s} {'p05':>7s} {'p50':>7s} {'p95':>7s} "
+        f"{'consist':>8s} {'grade':>5s} {'capacity':>9s}",
+    ]
+    slas = []
+    for src, dst in monitor.link_map.pairs():
+        try:
+            slas.append(link_sla(monitor, src, dst))
+        except ValueError:
+            continue
+    for sla in sorted(slas, key=lambda s: (s.src, s.dst)):
+        cap = f"{sla.capacity / MB:.1f}MB/s" if sla.capacity else "-"
+        lines.append(
+            f"{sla.src}->{sla.dst:8s} {sla.samples:5d} "
+            f"{sla.p05 / MB:7.2f} {sla.p50 / MB:7.2f} {sla.p95 / MB:7.2f} "
+            f"{sla.consistency:8.0%} {sla.grade:>5s} {cap:>9s}"
+        )
+    if not slas:
+        lines.append("(no monitored links)")
+    return "\n".join(lines)

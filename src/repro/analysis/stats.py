@@ -1,0 +1,69 @@
+"""Statistical helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """Mean, spread and a 95 % confidence interval of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation σ/µ."""
+        return self.std / self.mean if self.mean else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.ci95:.3g} (n={self.n})"
+
+
+def summarize(values) -> StatSummary:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return StatSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        ci95=confidence_interval95(arr),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def confidence_interval95(values) -> float:
+    """Half-width of the normal-approximation 95 % CI of the mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return 0.0
+    return float(1.96 * arr.std(ddof=1) / np.sqrt(arr.size))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate − truth| / truth."""
+    if truth == 0:
+        raise ValueError("relative error undefined for zero truth")
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean_absolute_percentage_error(estimates, truths) -> float:
+    """MAPE over paired sequences (the estimator-accuracy metric)."""
+    est = np.asarray(list(estimates), dtype=float)
+    tru = np.asarray(list(truths), dtype=float)
+    if est.shape != tru.shape:
+        raise ValueError("estimates and truths must have the same length")
+    if est.size == 0:
+        raise ValueError("cannot compute MAPE of empty sequences")
+    if np.any(tru == 0):
+        raise ValueError("truth contains zeros")
+    return float(np.mean(np.abs(est - tru) / np.abs(tru)))

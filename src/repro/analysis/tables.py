@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_row(values: Sequence[object], precision: int = 2) -> list[str]:
+    """Stringify one row, formatting floats at a fixed precision."""
+    out: list[str] = []
+    for v in values:
+        if isinstance(v, float):
+            out.append(f"{v:.{precision}f}")
+        else:
+            out.append(str(v))
+    return out
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table (what the bench targets print)."""
+    str_rows = [format_row(r, precision) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

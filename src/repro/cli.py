@@ -1,0 +1,250 @@
+"""Command-line interface to the simulated SAGE service.
+
+The Transfer Agent of the real system exposes FTP-like commands next to
+its API; this CLI plays that role for the reproduction — every major
+capability is drivable from a shell against a freshly provisioned
+simulated cloud:
+
+.. code-block:: console
+
+   $ sage map                                  # live link throughput map
+   $ sage transfer NEU NUS 2GB --budget 0.30   # managed transfer
+   $ sage plan NEU NUS 4GB                     # cost/time curve + knee
+   $ sage disseminate NEU WEU,EUS,NUS 500MB    # multicast replication
+   $ sage introspect --hours 2                 # delivered-SLA report
+   $ sage stream --workload sensors --duration 300
+
+(entry point: ``python -m repro.cli`` or the ``sage`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+from repro.analysis.introspection import introspection_report
+from repro.analysis.tables import render_table
+from repro.core.dissemination import Disseminator
+from repro.simulation.units import GB, KB, MB, TB, format_bytes, format_duration
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import SageShipping
+from repro.workloads.clickstream import clickstream_job
+from repro.workloads.sensors import sensor_fusion_job
+from repro.workloads.synthetic import fresh_engine, standard_deployment
+
+_SIZE_UNITS = {"B": 1.0, "KB": KB, "MB": MB, "GB": GB, "TB": TB}
+
+
+def parse_size(text: str) -> float:
+    """Parse '500MB', '2.5GB', '1024' (bytes) into a byte count."""
+    m = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*([KMGT]?B)?\s*", text, re.I)
+    if not m:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}")
+    value = float(m.group(1))
+    unit = (m.group(2) or "B").upper()
+    return value * _SIZE_UNITS[unit]
+
+
+def parse_spec(text: str | None) -> dict[str, int]:
+    """Parse 'NEU:5,NUS:5' into a deployment spec."""
+    if not text:
+        return standard_deployment()
+    spec: dict[str, int] = {}
+    for part in text.split(","):
+        try:
+            region, count = part.split(":")
+            spec[region.strip().upper()] = int(count)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"cannot parse deployment {text!r}; expected REGION:N,..."
+            ) from None
+    return spec
+
+
+def _engine(args):
+    return fresh_engine(
+        seed=args.seed,
+        spec=parse_spec(getattr(args, "deploy", None)),
+        learning_phase=args.learning,
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_map(args) -> int:
+    engine = _engine(args)
+    rows = engine.monitor.link_map.matrix_rows()
+    print(render_table(rows[0], rows[1:], title="Inter-datacenter throughput map (MB/s)"))
+    return 0
+
+
+def cmd_transfer(args) -> int:
+    engine = _engine(args)
+    size = parse_size(args.size)
+    before = engine.env.meter.snapshot()
+    mt = engine.decisions.transfer(
+        args.src.upper(),
+        args.dst.upper(),
+        size,
+        budget_usd=args.budget,
+        deadline_s=args.deadline,
+        n_nodes=args.nodes,
+    )
+    while not mt.done:
+        engine.run_until(engine.sim.now + 10)
+    spent = engine.env.meter.snapshot() - before
+    print(
+        f"transferred {format_bytes(size)} {args.src.upper()}->{args.dst.upper()} "
+        f"in {format_duration(mt.elapsed)} "
+        f"({size / mt.elapsed / MB:.1f} MB/s), egress ${spent.egress_usd:.3f}, "
+        f"replans {mt.replans}"
+    )
+    print(f"schema: {mt.schema_history[-1]}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    engine = _engine(args)
+    size = parse_size(args.size)
+    thr = engine.monitor.estimated_throughput(args.src.upper(), args.dst.upper())
+    options = engine.decisions.tradeoff.options(size, thr, max_nodes=args.max_nodes)
+    knee = engine.decisions.tradeoff.knee(options)
+    front = engine.decisions.tradeoff.pareto_front(options)
+    rows = [
+        [
+            o.n_nodes,
+            format_duration(o.predicted_time),
+            f"${o.usd:.3f}",
+            "*" if o in front else "",
+            "<- knee" if o is knee else "",
+        ]
+        for o in options
+    ]
+    print(
+        render_table(
+            ["nodes", "time", "cost", "pareto", ""],
+            rows,
+            title=f"Cost/time options for {format_bytes(size)} "
+            f"{args.src.upper()}->{args.dst.upper()} "
+            f"(link ≈ {thr / MB:.1f} MB/s)",
+        )
+    )
+    return 0
+
+
+def cmd_disseminate(args) -> int:
+    engine = _engine(args)
+    size = parse_size(args.size)
+    destinations = [d.strip().upper() for d in args.destinations.split(",")]
+    diss = Disseminator(engine, n_nodes_per_edge=args.nodes or 3)
+    plan = diss.plan(args.src.upper(), destinations)
+    print(f"tree: {plan.describe()} (depth {plan.depth()})")
+    report = diss.run(size, plan)
+    rows = [
+        [dst, format_duration(report.arrival(dst))] for dst in destinations
+    ]
+    print(render_table(["site", "arrival"], rows, title="Dissemination"))
+    print(f"makespan {format_duration(report.makespan)}")
+    return 0
+
+
+def cmd_introspect(args) -> int:
+    engine = _engine(args)
+    engine.run_until(engine.sim.now + args.hours * 3600.0)
+    print(introspection_report(engine.monitor))
+    return 0
+
+
+def cmd_stream(args) -> int:
+    engine = _engine(args)
+    if args.workload == "sensors":
+        regions = [r for r in engine.deployment.regions() if r != "NUS"][:3]
+        job = sensor_fusion_job(site_regions=regions, aggregation_region="NUS")
+    else:
+        regions = [r for r in engine.deployment.regions() if r != "WUS"][:3]
+        job = clickstream_job(site_regions=regions, aggregation_region="WUS")
+    runtime = GeoStreamRuntime(engine, job, SageShipping.factory(n_nodes=2))
+    runtime.run_for(args.duration)
+    stats = runtime.latency_stats()
+    print(
+        f"{args.workload}: ingested {runtime.records_ingested()} records, "
+        f"{len(runtime.results)} global results, "
+        f"WAN {format_bytes(runtime.wan_bytes())}"
+    )
+    print(
+        f"latency p50 {stats.p50:.1f}s p95 {stats.p95:.1f}s "
+        f"p99 {stats.p99:.1f}s max {stats.max:.1f}s"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sage",
+        description="Geo-distributed data analysis over a simulated cloud.",
+    )
+    parser.add_argument("--seed", type=int, default=2013, help="experiment seed")
+    parser.add_argument(
+        "--deploy",
+        help="deployment spec REGION:N,... (default: standard 40-node)",
+    )
+    parser.add_argument(
+        "--learning",
+        type=float,
+        default=300.0,
+        help="monitoring learning phase in simulated seconds",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("map", help="print the live link throughput map")
+
+    p = sub.add_parser("transfer", help="run a managed transfer")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("size", help="e.g. 500MB, 2GB")
+    p.add_argument("--budget", type=float, help="budget in USD")
+    p.add_argument("--deadline", type=float, help="deadline in seconds")
+    p.add_argument("--nodes", type=int, help="fixed node count")
+
+    p = sub.add_parser("plan", help="print the cost/time option curve")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("size")
+    p.add_argument("--max-nodes", type=int, default=12)
+
+    p = sub.add_parser("disseminate", help="replicate to several sites")
+    p.add_argument("src")
+    p.add_argument("destinations", help="comma-separated regions")
+    p.add_argument("size")
+    p.add_argument("--nodes", type=int, help="nodes per tree edge")
+
+    p = sub.add_parser("introspect", help="delivered-SLA report")
+    p.add_argument("--hours", type=float, default=1.0)
+
+    p = sub.add_parser("stream", help="run a streaming workload")
+    p.add_argument("--workload", choices=("sensors", "clicks"), default="sensors")
+    p.add_argument("--duration", type=float, default=120.0)
+
+    return parser
+
+
+_COMMANDS = {
+    "map": cmd_map,
+    "transfer": cmd_transfer,
+    "plan": cmd_plan,
+    "disseminate": cmd_disseminate,
+    "introspect": cmd_introspect,
+    "stream": cmd_stream,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Simulated multi-datacenter cloud substrate.
+
+This package stands in for the Azure testbed of the original evaluation:
+six EU/US regions, a VM catalog with per-size NIC caps and hourly prices,
+wide-area links whose delivered capacity drifts under multi-tenancy
+(AR(1)-lognormal noise × diurnal cycle × rare glitches), a fluid max-min
+fair flow model that shares links and NICs among concurrent transfers, a
+blob-storage service used by the staging baseline, and a cost meter that
+accrues VM lease time and egress charges exactly as the provider would
+bill them.
+"""
+
+from repro.cloud.deployment import CloudEnvironment, Deployment
+from repro.cloud.network import FluidNetwork, Flow, Topology, WanLink
+from repro.cloud.pricing import CostMeter, CostReport, PriceBook
+from repro.cloud.regions import (
+    DEFAULT_REGIONS,
+    Region,
+    RegionCatalog,
+    default_catalog,
+)
+from repro.cloud.storage import BlobObject, BlobStore
+from repro.cloud.variability import (
+    Ar1LognormalProcess,
+    CapacityProcess,
+    CompositeProcess,
+    ConstantProcess,
+    DiurnalProcess,
+    GlitchProcess,
+)
+from repro.cloud.vm import VM, VMSize, VM_SIZES
+
+__all__ = [
+    "CloudEnvironment",
+    "Deployment",
+    "FluidNetwork",
+    "Flow",
+    "Topology",
+    "WanLink",
+    "CostMeter",
+    "CostReport",
+    "PriceBook",
+    "Region",
+    "RegionCatalog",
+    "DEFAULT_REGIONS",
+    "default_catalog",
+    "BlobStore",
+    "BlobObject",
+    "VM",
+    "VMSize",
+    "VM_SIZES",
+    "Ar1LognormalProcess",
+    "CapacityProcess",
+    "CompositeProcess",
+    "ConstantProcess",
+    "DiurnalProcess",
+    "GlitchProcess",
+]

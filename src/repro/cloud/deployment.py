@@ -1,0 +1,162 @@
+"""Deployments and the top-level cloud environment facade.
+
+A :class:`Deployment` is the set of VMs an application leases, grouped by
+region — the paper's "global system" of up to 120 nodes over 6 sites. The
+:class:`CloudEnvironment` bundles everything one simulation run needs:
+simulator, topology, fluid network, blob stores and cost meter, plus
+provisioning/releasing of VMs with lease billing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.cloud.network import FluidNetwork, Topology
+from repro.cloud.pricing import CostMeter, PriceBook
+from repro.cloud.storage import BlobStore
+from repro.cloud.vm import VM, VM_SIZES, VMSize
+from repro.simulation.engine import Simulator
+from repro.simulation.units import MINUTE
+
+
+class Deployment:
+    """The VMs an application holds, grouped by region."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.vms_by_region: dict[str, list[VM]] = {}
+
+    def add(self, vm: VM) -> None:
+        self.vms_by_region.setdefault(vm.region_code, []).append(vm)
+
+    def remove(self, vm: VM) -> None:
+        self.vms_by_region.get(vm.region_code, []).remove(vm)
+
+    def vms(self, region_code: str | None = None) -> list[VM]:
+        if region_code is not None:
+            return list(self.vms_by_region.get(region_code, []))
+        return [vm for vms in self.vms_by_region.values() for vm in vms]
+
+    def regions(self) -> list[str]:
+        return [r for r, vms in self.vms_by_region.items() if vms]
+
+    def size(self) -> int:
+        return sum(len(v) for v in self.vms_by_region.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{r}:{len(v)}" for r, v in sorted(self.vms_by_region.items())
+        )
+        return f"Deployment({self.name}: {parts})"
+
+
+@dataclass
+class _Lease:
+    vm: VM
+    started_at: float
+
+
+class CloudEnvironment:
+    """Everything a simulated multi-datacenter experiment needs.
+
+    >>> env = CloudEnvironment(seed=7)
+    >>> src = env.provision("NEU", "Small")[0]
+    >>> dst = env.provision("NUS", "Small")[0]
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        variability_sigma: float = 0.20,
+        diurnal_amplitude: float = 0.12,
+        glitches: bool = True,
+        capacity_scale: float = 1.0,
+        prices: PriceBook | None = None,
+        billed_vm_time: bool = False,
+        refresh_interval: float = 10.0,
+        variability_epoch: float = MINUTE,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.topology = Topology.build(
+            self.sim,
+            variability_sigma=variability_sigma,
+            diurnal_amplitude=diurnal_amplitude,
+            glitches=glitches,
+            capacity_scale=capacity_scale,
+            epoch=variability_epoch,
+        )
+        self.network = FluidNetwork(
+            self.sim, self.topology, refresh_interval=refresh_interval
+        )
+        self.meter = CostMeter(prices, billed=billed_vm_time)
+        self.blobs: dict[str, BlobStore] = {
+            code: BlobStore(self.sim, self.network, code, self.meter)
+            for code in self.topology.region_codes()
+        }
+        self.deployment = Deployment("default")
+        self._vm_ids = itertools.count(1)
+        self._leases: dict[str, _Lease] = {}
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def provision(
+        self,
+        region_code: str,
+        size: str | VMSize = "Small",
+        count: int = 1,
+        deployment: Deployment | None = None,
+    ) -> list[VM]:
+        """Lease ``count`` VMs of the given size in one region."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if region_code not in self.topology.catalog:
+            raise KeyError(f"unknown region {region_code!r}")
+        vmsize = VM_SIZES[size] if isinstance(size, str) else size
+        target = deployment or self.deployment
+        vms = []
+        for _ in range(count):
+            vm = VM(
+                f"vm-{next(self._vm_ids):04d}-{region_code.lower()}",
+                region_code,
+                vmsize,
+            )
+            target.add(vm)
+            self._leases[vm.vm_id] = _Lease(vm, self.sim.now)
+            vms.append(vm)
+        return vms
+
+    def release(self, vm: VM, deployment: Deployment | None = None) -> float:
+        """End a lease; bills the elapsed time. Returns USD charged."""
+        lease = self._leases.pop(vm.vm_id, None)
+        if lease is None:
+            raise KeyError(f"{vm.vm_id} is not leased")
+        (deployment or self.deployment).remove(vm)
+        return self.meter.charge_vm_time(
+            vm.size.usd_per_hour, self.sim.now - lease.started_at
+        )
+
+    def finalize(self) -> None:
+        """Bill all still-open leases up to the current time and close them."""
+        for lease in list(self._leases.values()):
+            self.meter.charge_vm_time(
+                lease.vm.size.usd_per_hour, self.sim.now - lease.started_at
+            )
+        self._leases.clear()
+
+    def leased_vms(self) -> list[VM]:
+        return [lease.vm for lease in self._leases.values()]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_until(self, horizon: float) -> None:
+        self.sim.run_until(horizon)
+
+    def blob(self, region_code: str) -> BlobStore:
+        return self.blobs[region_code]

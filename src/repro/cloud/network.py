@@ -1,0 +1,493 @@
+"""Wide-area topology and the fluid max-min fair flow model.
+
+Simulating every TCP packet across a week of virtual time is intractable
+and unnecessary: the decisions SAGE makes depend on *rates*. We therefore
+use the fluid-flow approximation standard in network simulation (SimGrid
+family): each transfer is a flow with an instantaneous rate; rates are the
+max-min fair allocation over shared resources; the event engine advances
+flows between rate changes analytically.
+
+Resources shared by flows:
+
+* each VM's NIC uplink and downlink (bytes/s, degraded by VM health),
+* each ordered inter-datacenter WAN link, whose deliverable capacity
+  varies over time through a :mod:`repro.cloud.variability` process,
+* a per-region intra-datacenter fabric (large, rarely binding).
+
+Each flow additionally carries a private cap modelling the transport
+protocol and politeness constraints:
+
+* TCP throughput ceiling ``streams × window / RTT`` per hop — multi-hop
+  relays re-terminate TCP per hop, so a long fat path relayed through an
+  intermediate datacenter can beat the direct path's RTT ceiling, which is
+  precisely the phenomenon the multi-datacenter path strategy exploits;
+* the *intrusiveness* fraction: a transfer allowed to use only 10 % of a
+  VM's resources is capped at 10 % of that VM's NIC on every hop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.cloud.regions import RegionCatalog, default_catalog, pair_bias
+from repro.cloud.variability import (
+    CapacityProcess,
+    ConstantProcess,
+    default_wan_process,
+)
+from repro.cloud.vm import VM
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event
+from repro.simulation.units import KB, MB, MINUTE
+
+_EPS = 1e-9
+
+#: Baseline per-tenant deliverable WAN capacity by distance class, bytes/s.
+SAME_CONTINENT_CAPACITY = 55 * MB
+CROSS_CONTINENT_CAPACITY = 30 * MB
+#: Intra-datacenter fabric available to one tenant deployment.
+INTRA_CAPACITY = 2000 * MB
+
+
+class WanLink:
+    """One ordered inter-datacenter link with time-varying capacity."""
+
+    __slots__ = ("src", "dst", "base_capacity", "process", "rtt")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        base_capacity: float,
+        rtt: float,
+        process: CapacityProcess | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.base_capacity = base_capacity
+        self.rtt = rtt
+        self.process = process or ConstantProcess()
+
+    def capacity(self, t: float) -> float:
+        """Deliverable capacity (bytes/s) at virtual time ``t``."""
+        return self.base_capacity * self.process.factor(t)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:
+        return f"WanLink({self.src}->{self.dst}, {self.base_capacity / MB:.0f} MB/s)"
+
+
+class Topology:
+    """Region catalog plus the full mesh of WAN links."""
+
+    def __init__(
+        self,
+        catalog: RegionCatalog,
+        links: dict[tuple[str, str], WanLink],
+        intra_capacity: float = INTRA_CAPACITY,
+    ) -> None:
+        self.catalog = catalog
+        self.links = links
+        self.intra_capacity = intra_capacity
+
+    @classmethod
+    def build(
+        cls,
+        sim: Simulator | None = None,
+        catalog: RegionCatalog | None = None,
+        variability_sigma: float = 0.20,
+        diurnal_amplitude: float = 0.12,
+        glitches: bool = True,
+        capacity_scale: float = 1.0,
+        epoch: float = MINUTE,
+    ) -> "Topology":
+        """Construct the default six-region mesh.
+
+        Pass ``variability_sigma=0`` (with ``glitches=False`` and
+        ``diurnal_amplitude=0``) for a perfectly stable cloud — useful in
+        unit tests and as the control arm of variability ablations.
+        """
+        catalog = catalog or default_catalog()
+        links: dict[tuple[str, str], WanLink] = {}
+        for a, b in catalog.pairs(ordered=True):
+            base = (
+                SAME_CONTINENT_CAPACITY
+                if a.continent == b.continent
+                else CROSS_CONTINENT_CAPACITY
+            )
+            base *= pair_bias(a.code, b.code) * capacity_scale
+            if sim is not None and (
+                variability_sigma > 0 or diurnal_amplitude > 0 or glitches
+            ):
+                rng = sim.rngs.get(f"wan/{a.code}->{b.code}")
+                process = default_wan_process(
+                    rng,
+                    sigma=variability_sigma,
+                    diurnal_amplitude=diurnal_amplitude,
+                    glitches=glitches,
+                    epoch=epoch,
+                )
+            else:
+                process = ConstantProcess()
+            links[(a.code, b.code)] = WanLink(
+                a.code, b.code, base, catalog.rtt(a, b), process
+            )
+        return cls(catalog, links)
+
+    def link(self, src: str, dst: str) -> WanLink:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no WAN link {src}->{dst}") from None
+
+    def rtt(self, src: str, dst: str) -> float:
+        return self.catalog.rtt(src, dst)
+
+    def region_codes(self) -> list[str]:
+        return self.catalog.codes()
+
+
+class Flow:
+    """One fluid transfer along a VM path.
+
+    ``path`` is the ordered VM chain ``[source, relay..., destination]``;
+    consecutive VMs in different regions traverse the corresponding WAN
+    link. A flow completes when ``transferred >= size``.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        path: list[VM],
+        size: float,
+        streams: int = 1,
+        intrusiveness: float = 1.0,
+        on_complete: Callable[["Flow"], None] | None = None,
+        label: str = "",
+        rate_cap: float | None = None,
+        transport: str = "tcp",
+    ) -> None:
+        if len(path) < 2:
+            raise ValueError("a flow needs at least source and destination")
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        if not 0.0 < intrusiveness <= 1.0:
+            raise ValueError("intrusiveness must be in (0, 1]")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError("rate_cap must be positive")
+        if transport not in ("tcp", "udp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.flow_id = next(self._ids)
+        self.path = list(path)
+        self.size = float(size)
+        self.streams = int(streams)
+        self.intrusiveness = float(intrusiveness)
+        self.on_complete = on_complete
+        self.label = label
+        self.rate_cap = rate_cap
+        #: "tcp" flows are window/RTT-limited per hop; "udp" flows blast
+        #: at whatever the NIC and link shares allow (delivery guarantees
+        #: are then the sender's problem — see the UDP shipping backend).
+        self.transport = transport
+        self.transferred = 0.0
+        self.rate = 0.0
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.cancelled = False
+
+    @property
+    def src(self) -> VM:
+        return self.path[0]
+
+    @property
+    def dst(self) -> VM:
+        return self.path[-1]
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.size - self.transferred)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def hops(self) -> list[tuple[VM, VM]]:
+        return list(zip(self.path[:-1], self.path[1:]))
+
+    def wan_hops(self) -> list[tuple[str, str]]:
+        """Ordered region pairs of the inter-datacenter hops."""
+        return [
+            (a.region_code, b.region_code)
+            for a, b in self.hops()
+            if a.region_code != b.region_code
+        ]
+
+    def elapsed(self, now: float) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.completed_at if self.completed_at is not None else now
+        return end - self.started_at
+
+    def mean_throughput(self, now: float) -> float:
+        el = self.elapsed(now)
+        return self.transferred / el if el > 0 else 0.0
+
+    def __repr__(self) -> str:
+        route = "->".join(vm.region_code for vm in self.path)
+        return f"Flow#{self.flow_id}({route}, {self.size / MB:.1f}MB)"
+
+
+class FluidNetwork:
+    """Event-driven fluid simulation of concurrent transfers.
+
+    The network reacts to four kinds of events — flow start, flow cancel,
+    flow completion, and the periodic capacity refresh — all of which
+    funnel into :meth:`_recompute`: settle progress analytically since the
+    previous event, re-read link capacities, re-run max-min fair sharing,
+    and schedule the next projected completion.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        tcp_window: float = 128 * KB,
+        refresh_interval: float = 10.0,
+        relay_efficiency: float = 0.95,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.tcp_window = tcp_window
+        self.refresh_interval = refresh_interval
+        #: Per-WAN-hop forwarding efficiency of store-and-forward relays
+        #: (serialisation + copy overhead at the relay VM).
+        self.relay_efficiency = relay_efficiency
+        self.flows: set[Flow] = set()
+        self.bytes_completed = 0.0
+        self.flows_completed = 0
+        self._last_settle = sim.now
+        self._completion_event: Event | None = None
+        self._refresh_event: Event | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start_flow(self, flow: Flow) -> Flow:
+        if flow.started_at is not None:
+            raise ValueError(f"{flow!r} already started")
+        flow.started_at = self.sim.now
+        self.flows.add(flow)
+        self._recompute()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        if flow not in self.flows:
+            return
+        flow.cancelled = True
+        self._settle()
+        self.flows.discard(flow)
+        flow.rate = 0.0
+        self._recompute()
+
+    def throughput(self, flow: Flow) -> float:
+        """Instantaneous allocated rate of a flow, bytes/s."""
+        return flow.rate if flow in self.flows else 0.0
+
+    def link_utilization(self, src: str, dst: str) -> float:
+        """Sum of current rates of flows crossing a WAN link."""
+        return sum(
+            f.rate for f in self.flows if (src, dst) in f.wan_hops()
+        )
+
+    def flow_cap(self, flow: Flow) -> float:
+        """Private ceiling of one flow (TCP windows, intrusiveness, NICs).
+
+        The per-hop TCP ceiling is scaled by the link's current weather
+        factor (clipped at 1): congestion inflates RTT and induces loss,
+        so a single flow on a bad day delivers less than ``window/RTT``
+        even when the aggregate link is far from saturated. This is what
+        makes the cloud's variability *observable* to unsaturated probes.
+        """
+        cap = flow.rate_cap if flow.rate_cap is not None else float("inf")
+        now = self.sim.now
+        n_wan = 0
+        for a, b in flow.hops():
+            if a.region_code != b.region_code:
+                n_wan += 1
+                if flow.transport == "udp":
+                    continue  # no congestion window: NICs and shares bind
+                link = self.topology.link(a.region_code, b.region_code)
+                weather = min(1.0, link.process.factor(now))
+                cap = min(cap, flow.streams * self.tcp_window / link.rtt * weather)
+        for vm in flow.path:
+            cap = min(cap, flow.intrusiveness * vm.size.nic_bytes_per_s * vm.health)
+        if n_wan > 1:
+            cap *= self.relay_efficiency ** (n_wan - 1)
+        return cap
+
+    def isolated_rate(
+        self,
+        path: list[VM],
+        streams: int = 1,
+        intrusiveness: float = 1.0,
+        rate_cap: float | None = None,
+    ) -> float:
+        """Rate a flow on ``path`` would get with no competing traffic.
+
+        This is the quantity an iperf-style probe measures on an otherwise
+        idle deployment, and the ground truth the estimator-accuracy
+        experiments compare against.
+        """
+        probe = Flow(
+            path, 1.0, streams=streams, intrusiveness=intrusiveness,
+            rate_cap=rate_cap,
+        )
+        cap = self.flow_cap(probe)
+        now = self.sim.now
+        for a, b in probe.hops():
+            if a.region_code != b.region_code:
+                cap = min(
+                    cap, self.topology.link(a.region_code, b.region_code).capacity(now)
+                )
+            else:
+                cap = min(cap, self.topology.intra_capacity)
+        return cap
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance every active flow by rate × elapsed since last event."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt > 0:
+            for f in self.flows:
+                if f.rate > 0:
+                    f.transferred = min(f.size, f.transferred + f.rate * dt)
+        self._last_settle = now
+
+    def _complete_finished(self) -> None:
+        finished = [f for f in self.flows if f.remaining <= _EPS * f.size + _EPS]
+        for f in finished:
+            f.transferred = f.size
+            f.completed_at = self.sim.now
+            f.rate = 0.0
+            self.flows.discard(f)
+            self.bytes_completed += f.size
+            self.flows_completed += 1
+        # Callbacks run after bookkeeping so they can start follow-up flows.
+        for f in finished:
+            if f.on_complete is not None:
+                f.on_complete(f)
+
+    def _allocate(self) -> None:
+        """Max-min fair allocation with per-flow caps (water-filling)."""
+        now = self.sim.now
+        flows = list(self.flows)
+        for f in flows:
+            f.rate = 0.0
+        if not flows:
+            return
+
+        # Build resource table: id -> (remaining capacity, user flows).
+        remaining: dict[object, float] = {}
+        users: dict[object, list[Flow]] = {}
+
+        def add_user(res: object, cap: float, flow: Flow) -> None:
+            if res not in remaining:
+                remaining[res] = cap
+                users[res] = []
+            users[res].append(flow)
+
+        for f in flows:
+            for vm in f.path[:-1]:
+                add_user(("up", vm.vm_id), vm.uplink_capacity, f)
+            for vm in f.path[1:]:
+                add_user(("down", vm.vm_id), vm.downlink_capacity, f)
+            for a, b in f.hops():
+                if a.region_code == b.region_code:
+                    add_user(
+                        ("intra", a.region_code),
+                        self.topology.intra_capacity,
+                        f,
+                    )
+                else:
+                    key = (a.region_code, b.region_code)
+                    add_user(
+                        ("wan", key),
+                        self.topology.link(*key).capacity(now),
+                        f,
+                    )
+
+        caps = {f: self.flow_cap(f) for f in flows}
+        alloc = {f: 0.0 for f in flows}
+        active: set[Flow] = set(flows)
+        live_users = {res: set(fl) for res, fl in users.items()}
+
+        while active:
+            # Largest uniform increment every active flow can take.
+            inc = min(caps[f] - alloc[f] for f in active)
+            for res, flows_on in live_users.items():
+                n = len(flows_on & active)
+                if n:
+                    inc = min(inc, remaining[res] / n)
+            if inc < 0:
+                inc = 0.0
+            for f in active:
+                alloc[f] += inc
+            for res, flows_on in live_users.items():
+                n = len(flows_on & active)
+                if n:
+                    remaining[res] -= inc * n
+            # Freeze flows at their private cap.
+            newly_frozen = {f for f in active if caps[f] - alloc[f] <= _EPS}
+            # Freeze flows on saturated resources.
+            for res, flows_on in live_users.items():
+                if remaining[res] <= _EPS:
+                    newly_frozen |= flows_on & active
+            if not newly_frozen:
+                # Numerical stall: freeze the flow closest to its cap.
+                newly_frozen = {min(active, key=lambda f: caps[f] - alloc[f])}
+            active -= newly_frozen
+
+        for f in flows:
+            f.rate = alloc[f]
+
+    def _recompute(self) -> None:
+        self._settle()
+        self._complete_finished()
+        self._allocate()
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if self._refresh_event is not None:
+            self._refresh_event.cancel()
+            self._refresh_event = None
+        if not self.flows:
+            return
+        # Earliest projected completion at current rates.
+        eta = min(
+            (f.remaining / f.rate for f in self.flows if f.rate > 0),
+            default=None,
+        )
+        horizon = self.refresh_interval
+        if eta is not None and eta <= horizon:
+            self._completion_event = self.sim.schedule(
+                max(eta, 0.0), self._recompute, priority=-1
+            )
+        else:
+            # Either all rates are zero (wait for capacity refresh) or the
+            # next completion is beyond the refresh horizon.
+            self._refresh_event = self.sim.schedule(
+                horizon, self._recompute, priority=-1
+            )

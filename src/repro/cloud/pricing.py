@@ -1,0 +1,169 @@
+"""Cloud pricing and cost metering.
+
+Prices follow the 2013 Azure price sheet that the original cost model was
+calibrated against: inbound data is free, outbound (egress) data is billed
+per GB with volume tiers, VMs are billed per hour of lease, and blob
+storage charges per transaction plus capacity. The :class:`CostMeter`
+accrues charges as the simulation runs so every experiment can report real
+money next to transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.units import GB, HOUR
+
+
+@dataclass(frozen=True)
+class EgressTier:
+    """One volume tier of the egress price schedule."""
+
+    #: Upper bound of the tier in bytes (cumulative per billing period).
+    up_to_bytes: float
+    usd_per_gb: float
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices for every billable resource."""
+
+    #: Tiered egress schedule, ordered by ``up_to_bytes``.
+    egress_tiers: tuple[EgressTier, ...] = (
+        EgressTier(10_000 * GB, 0.12),
+        EgressTier(50_000 * GB, 0.09),
+        EgressTier(float("inf"), 0.07),
+    )
+    #: Inbound transfer price (free on all major clouds).
+    ingress_usd_per_gb: float = 0.0
+    #: Storage capacity price.
+    storage_usd_per_gb_month: float = 0.095
+    #: Price per storage transaction (PUT/GET/LIST).
+    storage_usd_per_transaction: float = 0.01 / 100_000
+    #: Minimum VM billing increment in seconds (hourly billing in 2013).
+    vm_billing_increment_s: float = HOUR
+
+    def egress_cost(self, nbytes: float, already_used: float = 0.0) -> float:
+        """Cost in USD of ``nbytes`` of egress given prior tier usage."""
+        remaining = float(nbytes)
+        cursor = float(already_used)
+        cost = 0.0
+        for tier in self.egress_tiers:
+            if remaining <= 0:
+                break
+            room = tier.up_to_bytes - cursor
+            if room <= 0:
+                continue
+            take = min(room, remaining)
+            cost += (take / GB) * tier.usd_per_gb
+            cursor += take
+            remaining -= take
+        return cost
+
+    def marginal_egress_usd_per_gb(self, already_used: float = 0.0) -> float:
+        """Current per-GB egress price at the given cumulative usage."""
+        for tier in self.egress_tiers:
+            if already_used < tier.up_to_bytes:
+                return tier.usd_per_gb
+        return self.egress_tiers[-1].usd_per_gb
+
+
+@dataclass
+class CostReport:
+    """Immutable snapshot of accumulated charges."""
+
+    vm_usd: float
+    egress_usd: float
+    storage_usd: float
+    egress_bytes: float
+    vm_seconds: float
+    transactions: int
+
+    @property
+    def total_usd(self) -> float:
+        return self.vm_usd + self.egress_usd + self.storage_usd
+
+    def __sub__(self, other: "CostReport") -> "CostReport":
+        """Charges accrued between two snapshots."""
+        return CostReport(
+            vm_usd=self.vm_usd - other.vm_usd,
+            egress_usd=self.egress_usd - other.egress_usd,
+            storage_usd=self.storage_usd - other.storage_usd,
+            egress_bytes=self.egress_bytes - other.egress_bytes,
+            vm_seconds=self.vm_seconds - other.vm_seconds,
+            transactions=self.transactions - other.transactions,
+        )
+
+
+class CostMeter:
+    """Accrues charges against a :class:`PriceBook` during a simulation.
+
+    VM lease time can be accrued in two modes: *billed* (rounded up to the
+    provider's billing increment, as invoices actually do) or *linear*
+    (exact seconds — what the paper-style cost model uses to reason about
+    marginal node cost).
+    """
+
+    def __init__(self, prices: PriceBook | None = None, billed: bool = False) -> None:
+        self.prices = prices or PriceBook()
+        self.billed = billed
+        self.vm_usd = 0.0
+        self.egress_usd = 0.0
+        self.storage_usd = 0.0
+        self.egress_bytes = 0.0
+        self.vm_seconds = 0.0
+        self.transactions = 0
+
+    # ------------------------------------------------------------------
+    def charge_vm_time(self, usd_per_hour: float, seconds: float) -> float:
+        """Accrue ``seconds`` of lease for one VM; returns USD charged."""
+        if seconds < 0:
+            raise ValueError("negative VM time")
+        if self.billed:
+            inc = self.prices.vm_billing_increment_s
+            periods = max(1, -(-int(seconds) // int(inc))) if seconds > 0 else 0
+            seconds_billed = periods * inc
+        else:
+            seconds_billed = seconds
+        usd = usd_per_hour * seconds_billed / HOUR
+        self.vm_usd += usd
+        self.vm_seconds += seconds
+        return usd
+
+    def charge_egress(self, nbytes: float) -> float:
+        """Accrue outbound transfer volume; returns USD charged."""
+        if nbytes < 0:
+            raise ValueError("negative egress")
+        usd = self.prices.egress_cost(nbytes, already_used=self.egress_bytes)
+        self.egress_usd += usd
+        self.egress_bytes += nbytes
+        return usd
+
+    def charge_storage_capacity(self, nbytes: float, seconds: float) -> float:
+        """Accrue blob capacity-time (pro-rated from the monthly price)."""
+        month_s = 30 * 24 * HOUR
+        usd = (nbytes / GB) * self.prices.storage_usd_per_gb_month * seconds / month_s
+        self.storage_usd += usd
+        return usd
+
+    def charge_transactions(self, count: int) -> float:
+        """Accrue storage transactions (PUT/GET)."""
+        usd = count * self.prices.storage_usd_per_transaction
+        self.storage_usd += usd
+        self.transactions += count
+        return usd
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CostReport:
+        return CostReport(
+            vm_usd=self.vm_usd,
+            egress_usd=self.egress_usd,
+            storage_usd=self.storage_usd,
+            egress_bytes=self.egress_bytes,
+            vm_seconds=self.vm_seconds,
+            transactions=self.transactions,
+        )
+
+    @property
+    def total_usd(self) -> float:
+        return self.vm_usd + self.egress_usd + self.storage_usd

@@ -1,0 +1,129 @@
+"""Datacenter regions and the geography-derived latency model.
+
+The default catalog mirrors the six Azure regions of the original
+deployment: North/West Europe and North/South/East/West US. Round-trip
+times are derived from great-circle distance at the speed of light in fibre
+plus a fixed routing/stack overhead — this lands within a few milliseconds
+of published Azure inter-region RTTs and, more importantly, preserves the
+*ordering* (EU↔EU < US↔US < EU↔US) that the path-selection algorithms
+exploit.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud datacenter location."""
+
+    name: str
+    #: Short display code, e.g. "NEU".
+    code: str
+    latitude: float
+    longitude: float
+    continent: str
+
+    def __str__(self) -> str:
+        return self.code
+
+
+#: The six regions of the original Azure deployment.
+DEFAULT_REGIONS: tuple[Region, ...] = (
+    Region("North Europe", "NEU", 53.35, -6.26, "EU"),
+    Region("West Europe", "WEU", 52.37, 4.90, "EU"),
+    Region("North Central US", "NUS", 41.88, -87.63, "US"),
+    Region("South Central US", "SUS", 29.42, -98.49, "US"),
+    Region("East US", "EUS", 37.43, -78.17, "US"),
+    Region("West US", "WUS", 37.78, -122.42, "US"),
+)
+
+_EARTH_RADIUS_KM = 6371.0
+#: Effective signal speed in optical fibre, km/s (≈ 2/3 c).
+_FIBRE_KM_PER_S = 200_000.0
+#: Fixed per-path overhead: routing hops, virtualisation, TCP stack (s).
+_RTT_OVERHEAD_S = 0.010
+#: Real WAN paths are longer than great circles (cable routes, peering).
+_PATH_STRETCH = 1.4
+
+
+def great_circle_km(a: Region, b: Region) -> float:
+    """Great-circle distance between two regions in kilometres."""
+    la1, lo1 = math.radians(a.latitude), math.radians(a.longitude)
+    la2, lo2 = math.radians(b.latitude), math.radians(b.longitude)
+    h = (
+        math.sin((la2 - la1) / 2) ** 2
+        + math.cos(la1) * math.cos(la2) * math.sin((lo2 - lo1) / 2) ** 2
+    )
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+class RegionCatalog:
+    """An indexed set of regions with pairwise baseline RTTs."""
+
+    def __init__(self, regions: tuple[Region, ...] = DEFAULT_REGIONS) -> None:
+        if len({r.code for r in regions}) != len(regions):
+            raise ValueError("duplicate region codes")
+        self.regions = tuple(regions)
+        self._by_code = {r.code: r for r in regions}
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    def get(self, code: str) -> Region:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise KeyError(
+                f"unknown region {code!r}; known: {sorted(self._by_code)}"
+            ) from None
+
+    def codes(self) -> list[str]:
+        return [r.code for r in self.regions]
+
+    def rtt(self, a: str | Region, b: str | Region) -> float:
+        """Baseline round-trip time between two regions, in seconds.
+
+        Intra-region RTT is a fixed small constant (one switch fabric).
+        """
+        ra = a if isinstance(a, Region) else self.get(a)
+        rb = b if isinstance(b, Region) else self.get(b)
+        if ra == rb:
+            return 0.001
+        dist = great_circle_km(ra, rb) * _PATH_STRETCH
+        return 2.0 * dist / _FIBRE_KM_PER_S + _RTT_OVERHEAD_S
+
+    def pairs(self, ordered: bool = True):
+        """Yield all distinct region pairs (ordered by default)."""
+        for a in self.regions:
+            for b in self.regions:
+                if a == b:
+                    continue
+                if not ordered and a.code > b.code:
+                    continue
+                yield a, b
+
+
+def pair_bias(src: str, dst: str, spread: float = 0.2) -> float:
+    """Deterministic per-pair capacity bias in ``[1-spread, 1+spread]``.
+
+    Real inter-DC links are not symmetric nor uniform within a distance
+    class; this stable hash-derived factor makes the baseline throughput
+    map heterogeneous (and asymmetric) without additional configuration.
+    """
+    h = zlib.crc32(f"{src}->{dst}".encode()) / 0xFFFFFFFF
+    return 1.0 + spread * (2.0 * h - 1.0)
+
+
+def default_catalog() -> RegionCatalog:
+    """The standard six-region EU/US catalog."""
+    return RegionCatalog(DEFAULT_REGIONS)

@@ -1,0 +1,159 @@
+"""Cloud object (blob) storage model.
+
+One :class:`BlobStore` exists per region. PUT/GET operations are modelled
+as flows between the client VM and the store's service frontend, carrying
+the three behaviours that make storage-relayed wide-area transfers slow
+and expensive in practice:
+
+* an HTTP request/response latency per operation (two RTTs + service
+  processing time),
+* a per-operation throughput ceiling (a single blob endpoint serves one
+  client well below NIC line rate),
+* transaction and capacity charges on the cost meter.
+
+This substrate exists to power the *AzureBlobs staging* baseline: the only
+wide-area data path the cloud offered out of the box, and the comparator
+the paper-family results beat by up to 5×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.network import FluidNetwork, Flow
+from repro.cloud.pricing import CostMeter
+from repro.cloud.vm import VM, VMSize
+from repro.simulation.engine import Simulator
+from repro.simulation.units import GB, MB, MBPS
+
+
+@dataclass
+class BlobObject:
+    """A stored object."""
+
+    name: str
+    size: float
+    created_at: float
+    region_code: str
+
+
+class BlobStore:
+    """Object storage service frontend in one region."""
+
+    #: NIC of the service frontend seen by one tenant (aggregate).
+    _FRONTEND_SIZE = VMSize("BlobFrontend", 16, 64 * GB, 4000 * MBPS, 0.0)
+    #: Ceiling a single PUT/GET achieves (2013-era single-blob limit).
+    per_op_rate_cap: float
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: FluidNetwork,
+        region_code: str,
+        meter: CostMeter | None = None,
+        per_op_rate_cap: float = 15 * MB,
+        service_latency: float = 0.040,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.region_code = region_code
+        self.meter = meter
+        self.per_op_rate_cap = per_op_rate_cap
+        self.service_latency = service_latency
+        self.objects: dict[str, BlobObject] = {}
+        self.frontend = VM(f"blob-{region_code}", region_code, self._FRONTEND_SIZE)
+        self.puts = 0
+        self.gets = 0
+
+    # ------------------------------------------------------------------
+    def _op_latency(self, client: VM) -> float:
+        rtt = self.network.topology.rtt(client.region_code, self.region_code)
+        return 2.0 * rtt + self.service_latency
+
+    def put(
+        self,
+        client: VM,
+        name: str,
+        size: float,
+        on_done: Callable[[BlobObject], None] | None = None,
+    ) -> Flow:
+        """Upload ``size`` bytes from ``client`` as object ``name``."""
+        if size <= 0:
+            raise ValueError("object size must be positive")
+        self.puts += 1
+        if self.meter is not None:
+            self.meter.charge_transactions(1)
+            if client.region_code != self.region_code:
+                # Cross-region PUT leaves the client's datacenter.
+                self.meter.charge_egress(size)
+
+        def _complete(flow: Flow) -> None:
+            def _visible() -> None:
+                obj = BlobObject(name, size, self.sim.now, self.region_code)
+                self.objects[name] = obj
+                if on_done is not None:
+                    on_done(obj)
+
+            self.sim.schedule(self._op_latency(client), _visible)
+
+        flow = Flow(
+            [client, self.frontend],
+            size,
+            streams=1,
+            on_complete=_complete,
+            label=f"blob-put:{name}",
+            rate_cap=self.per_op_rate_cap,
+        )
+        return self.network.start_flow(flow)
+
+    def get(
+        self,
+        client: VM,
+        name: str,
+        on_done: Callable[[BlobObject], None] | None = None,
+    ) -> Flow:
+        """Download object ``name`` to ``client``."""
+        try:
+            obj = self.objects[name]
+        except KeyError:
+            raise KeyError(f"no object {name!r} in {self.region_code}") from None
+        self.gets += 1
+        if self.meter is not None:
+            self.meter.charge_transactions(1)
+            if client.region_code != self.region_code:
+                # Cross-region GET leaves the storage datacenter.
+                self.meter.charge_egress(obj.size)
+
+        def _complete(flow: Flow) -> None:
+            def _delivered() -> None:
+                if on_done is not None:
+                    on_done(obj)
+
+            self.sim.schedule(self._op_latency(client), _delivered)
+
+        flow = Flow(
+            [self.frontend, client],
+            obj.size,
+            streams=1,
+            on_complete=_complete,
+            label=f"blob-get:{name}",
+            rate_cap=self.per_op_rate_cap,
+        )
+        return self.network.start_flow(flow)
+
+    def exists(self, name: str) -> bool:
+        return name in self.objects
+
+    def delete(self, name: str) -> None:
+        obj = self.objects.pop(name, None)
+        if obj is not None and self.meter is not None:
+            self.meter.charge_transactions(1)
+
+    def charge_capacity(self, seconds: float) -> None:
+        """Accrue capacity-time for everything currently stored."""
+        if self.meter is None:
+            return
+        total = sum(o.size for o in self.objects.values())
+        if total > 0:
+            self.meter.charge_storage_capacity(total, seconds)

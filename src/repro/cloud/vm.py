@@ -1,0 +1,88 @@
+"""Virtual-machine catalog and per-VM state.
+
+Sizes mirror the 2013 Azure instance families used in the original
+evaluation: Small (1 core, 100 Mbps), Medium (2 cores, 200 Mbps),
+Large (4 cores, 400 Mbps) and ExtraLarge (8 cores, 800 Mbps). NIC caps are
+the binding resource for single-node wide-area transfers, which is exactly
+why the decision engine recruits helper VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.units import GB, MBPS
+
+
+@dataclass(frozen=True)
+class VMSize:
+    """An instance type: compute, memory, network and price."""
+
+    name: str
+    cores: int
+    memory_bytes: float
+    #: NIC capacity in bytes/second (applies to uplink and downlink).
+    nic_bytes_per_s: float
+    #: On-demand price in USD per hour.
+    usd_per_hour: float
+
+    @property
+    def nic_mbps(self) -> float:
+        return self.nic_bytes_per_s / MBPS
+
+
+VM_SIZES: dict[str, VMSize] = {
+    "Small": VMSize("Small", 1, 1.75 * GB, 100 * MBPS, 0.06),
+    "Medium": VMSize("Medium", 2, 3.5 * GB, 200 * MBPS, 0.12),
+    "Large": VMSize("Large", 4, 7 * GB, 400 * MBPS, 0.24),
+    "ExtraLarge": VMSize("ExtraLarge", 8, 14 * GB, 800 * MBPS, 0.48),
+}
+
+
+class VM:
+    """A leased virtual machine inside one datacenter.
+
+    VMs carry a *health factor* in ``(0, 1]`` that scales their effective
+    NIC and CPU capacity. Experiments inject degradations (multi-tenant
+    noisy neighbours, failing hosts) by lowering it; the environment-aware
+    scheduler reacts, the naive baselines do not.
+    """
+
+    __slots__ = ("vm_id", "region_code", "size", "health", "cpu_load", "tags")
+
+    def __init__(self, vm_id: str, region_code: str, size: VMSize) -> None:
+        self.vm_id = vm_id
+        self.region_code = region_code
+        self.size = size
+        self.health: float = 1.0
+        #: Fraction of CPU currently consumed by application work [0, 1].
+        self.cpu_load: float = 0.0
+        self.tags: set[str] = set()
+
+    @property
+    def uplink_capacity(self) -> float:
+        """Effective NIC uplink in bytes/s, after health degradation."""
+        return self.size.nic_bytes_per_s * self.health
+
+    @property
+    def downlink_capacity(self) -> float:
+        """Effective NIC downlink in bytes/s, after health degradation."""
+        return self.size.nic_bytes_per_s * self.health
+
+    def degrade(self, health: float) -> None:
+        """Set the health factor (1.0 = nominal, 0.2 = badly degraded)."""
+        if not 0.0 < health <= 1.0:
+            raise ValueError(f"health must be in (0, 1], got {health}")
+        self.health = health
+
+    def restore(self) -> None:
+        self.health = 1.0
+
+    def __repr__(self) -> str:
+        return f"VM({self.vm_id}@{self.region_code}, {self.size.name})"
+
+    def __hash__(self) -> int:
+        return hash(self.vm_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VM) and other.vm_id == self.vm_id

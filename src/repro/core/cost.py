@@ -1,0 +1,103 @@
+"""Predicting the monetary cost of a transfer configuration.
+
+The cost of moving ``size`` bytes with ``n`` nodes in predicted time ``T``
+splits into three components:
+
+* **VM compute** — each of the ``n`` participating VMs dedicates an
+  ``intrusiveness`` fraction of itself for ``T`` seconds. Whether those
+  VMs are leased on purpose or borrowed from the main computation, that
+  fraction has the VM's hourly price.
+* **VM bandwidth** — folded into the same VM-time term (a VM's NIC comes
+  with the VM); kept as a separate reported component for visibility.
+* **Egress** — the provider bills every byte leaving a datacenter, once
+  per datacenter boundary crossed (relayed paths pay per WAN hop, which is
+  why the path selector must weigh extra hops against their time gain).
+
+Time and money pull in opposite directions through ``n``: more nodes cut
+``T`` (sub-linearly, per the time model) while multiplying the VM-time
+term — the trade-off experiments E4/E10 live exactly on this curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import PriceBook
+from repro.cloud.vm import VM_SIZES, VMSize
+from repro.simulation.units import GB, HOUR
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted cost of one transfer configuration."""
+
+    vm_cpu_usd: float
+    vm_bandwidth_usd: float
+    egress_usd: float
+    n_nodes: int
+    predicted_time: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.vm_cpu_usd + self.vm_bandwidth_usd + self.egress_usd
+
+    def __str__(self) -> str:
+        return (
+            f"${self.total_usd:.4f} (cpu ${self.vm_cpu_usd:.4f} + "
+            f"bw ${self.vm_bandwidth_usd:.4f} + egress ${self.egress_usd:.4f}, "
+            f"n={self.n_nodes}, T={self.predicted_time:.1f}s)"
+        )
+
+
+@dataclass
+class CostModel:
+    """Money model over a :class:`~repro.cloud.pricing.PriceBook`."""
+
+    prices: PriceBook
+    vm_size: VMSize = VM_SIZES["Small"]
+    #: Fraction of the VM-time price attributed to CPU vs NIC usage in the
+    #: reported breakdown (total is what matters for decisions).
+    cpu_share: float = 0.5
+
+    def estimate(
+        self,
+        size: float,
+        predicted_time: float,
+        n_nodes: int,
+        intrusiveness: float = 1.0,
+        wan_hops: int = 1,
+    ) -> CostBreakdown:
+        """Predict the cost of one configuration."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if predicted_time <= 0:
+            raise ValueError("predicted_time must be positive")
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if not 0 < intrusiveness <= 1:
+            raise ValueError("intrusiveness must be in (0, 1]")
+        if wan_hops < 1:
+            raise ValueError("wan_hops must be >= 1")
+        vm_time_usd = (
+            n_nodes
+            * predicted_time
+            * intrusiveness
+            * self.vm_size.usd_per_hour
+            / HOUR
+        )
+        egress_usd = (
+            wan_hops
+            * (size / GB)
+            * self.prices.marginal_egress_usd_per_gb()
+        )
+        return CostBreakdown(
+            vm_cpu_usd=vm_time_usd * self.cpu_share,
+            vm_bandwidth_usd=vm_time_usd * (1.0 - self.cpu_share),
+            egress_usd=egress_usd,
+            n_nodes=n_nodes,
+            predicted_time=predicted_time,
+        )
+
+    def vm_usd_per_second(self, intrusiveness: float = 1.0) -> float:
+        """Marginal price of keeping one participating VM busy."""
+        return intrusiveness * self.vm_size.usd_per_hour / HOUR

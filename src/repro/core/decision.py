@@ -1,0 +1,536 @@
+"""The Decision Manager: plan, execute, observe, re-plan.
+
+One manager coordinates each transfer (the architecture replicates it on
+every node for availability; a single instance handles a given transfer).
+Its control loop:
+
+1. **Plan** — read the link performance map, pick the node count through
+   the trade-off engine (budget / deadline / knee), choose datacenter
+   paths with the multi-path selector, and materialise healthy VMs from
+   the deployment into a weighted :class:`~repro.transfer.plan.TransferPlan`.
+2. **Execute** — hand the plan to the transfer service.
+3. **Observe** — every ``replan_interval`` compare achieved aggregate
+   throughput against the model's prediction and re-read node health.
+4. **Re-plan** — when a participating node degrades or the plan
+   underperforms persistently, cancel what remains and re-plan *only the
+   remaining bytes* with fresh estimates, avoiding the degraded nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.cloud.vm import VM
+from repro.core.cost import CostModel
+from repro.core.paths import MultiPathSelector, TransferSchema
+from repro.core.time_model import TransferTimeModel
+from repro.core.tradeoff import TradeoffAnalyzer, TransferOption
+from repro.monitor.agent import MonitoringAgent
+from repro.transfer.plan import RouteAssignment, TransferPlan
+from repro.transfer.service import TransferService
+from repro.transfer.session import TransferSession
+
+#: Expected delivered fraction of a relay route's width per extra WAN hop
+#: (store-and-forward overhead × the Jensen gap of min(two weathers)).
+_RELAY_DELIVERY_DISCOUNT = 0.8
+
+
+@dataclass
+class DecisionConfig:
+    """Tunables of the decision loop."""
+
+    #: Seconds between observe/re-plan checks of an active transfer.
+    replan_interval: float = 30.0
+    #: Initial parallel-node efficiency (recalibrated online).
+    gain: float = 0.65
+    #: Hard ceiling on nodes per transfer.
+    max_nodes: int = 32
+    #: Default VM resource share a transfer may consume.
+    intrusiveness: float = 1.0
+    #: Parallel TCP streams per route.
+    streams: int = 4
+    #: Use intermediate-datacenter paths when beneficial.
+    allow_multi_dc: bool = True
+    #: Longest datacenter chain considered (source→…→destination).
+    max_hops: int = 3
+    #: Re-plan when measured node health drops below this.
+    health_threshold: float = 0.7
+    #: Re-plan when achieved/predicted throughput stays below this. Kept
+    #: comfortably below 1: the gain parameter starts optimistic and is
+    #: only calibrated after a few transfers, and WAN saturation is not a
+    #: plan failure — re-planning should fire on genuine degradation.
+    performance_threshold: float = 0.45
+    #: Ignore performance checks during the first seconds of a session.
+    warmup: float = 10.0
+    #: Cap on consecutive re-plans per transfer (stability guard).
+    max_replans: int = 8
+
+
+class ManagedTransfer:
+    """Handle for a decision-managed wide-area transfer."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        src_region: str,
+        dst_region: str,
+        size: float,
+        on_complete: Callable[["ManagedTransfer"], None] | None = None,
+    ) -> None:
+        self.transfer_id = next(self._ids)
+        self.src_region = src_region
+        self.dst_region = dst_region
+        self.size = size
+        self.on_complete = on_complete
+        self.sessions: list[TransferSession] = []
+        self.replans = 0
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.bytes_confirmed = 0.0
+        self.schema_history: list[str] = []
+        #: Model-predicted completion time at launch (None if unmonitored).
+        self.prediction: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def current_session(self) -> TransferSession | None:
+        return self.sessions[-1] if self.sessions else None
+
+    @property
+    def elapsed(self) -> float | None:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def mean_throughput(self) -> float:
+        el = self.elapsed
+        return self.size / el if el else 0.0
+
+
+class DecisionManager:
+    """The DM of the three-agent architecture."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        monitor: MonitoringAgent,
+        transfers: TransferService,
+        config: DecisionConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.monitor = monitor
+        self.transfers = transfers
+        self.config = config or DecisionConfig()
+        self.time_model = TransferTimeModel(gain=self.config.gain)
+        self.cost_model = CostModel(env.meter.prices)
+        self.tradeoff = TradeoffAnalyzer(
+            self.time_model, self.cost_model, max_nodes=self.config.max_nodes
+        )
+        self.selector = MultiPathSelector(
+            gain=self.config.gain, max_hops=self.config.max_hops
+        )
+        self._busy_vms: set[str] = set()
+        self._gain_observations: list[tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def link_throughputs(self) -> dict[tuple[str, str], float]:
+        """Current link estimates as a plain dict for the path solver."""
+        out: dict[tuple[str, str], float] = {}
+        for src, dst in self.monitor.link_map.pairs():
+            est = self.monitor.link_map.estimate(src, dst)
+            if est.known:
+                out[(src, dst)] = est.mean
+        return out
+
+    def choose_option(
+        self,
+        size: float,
+        throughput: float,
+        budget_usd: float | None = None,
+        deadline_s: float | None = None,
+        intrusiveness: float | None = None,
+        wan_hops: int = 1,
+    ) -> TransferOption:
+        """Pick the node count honouring the user's constraint.
+
+        With both budget and deadline, the budget is the hard constraint
+        and the deadline is best-effort within it. With neither, the knee
+        of the trade-off curve is used.
+        """
+        intr = intrusiveness if intrusiveness is not None else self.config.intrusiveness
+        if budget_usd is not None:
+            opt = self.tradeoff.nodes_within_budget(
+                size, throughput, budget_usd, intr, wan_hops
+            )
+            if opt is None:
+                raise ValueError(
+                    f"budget ${budget_usd:.4f} cannot cover this transfer "
+                    f"(cheapest option costs "
+                    f"${self.tradeoff.options(size, throughput, intr, wan_hops)[0].usd:.4f})"
+                )
+            return opt
+        if deadline_s is not None:
+            opt = self.tradeoff.cheapest_within_deadline(
+                size, throughput, deadline_s, intr, wan_hops
+            )
+            if opt is not None:
+                return opt
+            # Unreachable deadline: do the best we can (max nodes).
+            return self.tradeoff.options(size, throughput, intr, wan_hops)[-1]
+        return self.tradeoff.knee(
+            self.tradeoff.options(size, throughput, intr, wan_hops)
+        )
+
+    def _healthy_vms(self, region: str, exclude: set[str]) -> list[VM]:
+        cfg = self.config
+        vms = [
+            vm
+            for vm in self.env.deployment.vms(region)
+            if vm.vm_id not in exclude
+            and vm.vm_id not in self._busy_vms
+            and self.monitor.node_health(vm) >= cfg.health_threshold
+        ]
+        return vms
+
+    def build_plan(
+        self,
+        src_region: str,
+        dst_region: str,
+        n_nodes: int,
+        intrusiveness: float | None = None,
+        exclude_vms: set[str] | None = None,
+        label: str = "sage",
+        allow_multi_dc: bool | None = None,
+    ) -> TransferPlan:
+        """Materialise a schema into VM routes.
+
+        Node budget semantics follow the path selector: one VM per region
+        of each route instance. Healthy VMs are drawn round-robin from the
+        deployment pools; the source region must have at least one VM.
+        """
+        cfg = self.config
+        intr = intrusiveness if intrusiveness is not None else cfg.intrusiveness
+        exclude = set(exclude_vms or ())
+        multi_dc = cfg.allow_multi_dc if allow_multi_dc is None else allow_multi_dc
+        thr_map = self.link_throughputs()
+        if multi_dc and thr_map:
+            schema = self.selector.select(
+                thr_map,
+                src_region,
+                dst_region,
+                node_budget=max(n_nodes, 1),
+                capacities=self.monitor.capacity_estimates,
+            )
+        else:
+            schema = TransferSchema([])
+        routes: list[RouteAssignment] = []
+        if schema.allocations:
+            routes = self._materialise(schema, intr, exclude)
+        if not routes:
+            # Degenerate fallback: direct path, parallel over helpers.
+            routes = self._direct_routes(
+                src_region, dst_region, n_nodes, intr, exclude
+            )
+        if not routes:
+            raise RuntimeError(
+                f"no usable VMs to transfer {src_region}->{dst_region}"
+            )
+        return TransferPlan(routes, label=label)
+
+    def _pool_cycler(self, region: str, exclude: set[str]):
+        pool = self._healthy_vms(region, exclude)
+        if not pool:
+            # Health emergency: fall back to any non-excluded VM.
+            pool = [
+                vm
+                for vm in self.env.deployment.vms(region)
+                if vm.vm_id not in exclude
+            ]
+        return itertools.cycle(pool) if pool else None
+
+    def _materialise(
+        self,
+        schema: TransferSchema,
+        intrusiveness: float,
+        exclude: set[str],
+    ) -> list[RouteAssignment]:
+        cfg = self.config
+        cyclers: dict[str, object] = {}
+        routes: list[RouteAssignment] = []
+        for alloc in schema:
+            for region in alloc.path:
+                if region not in cyclers:
+                    cyclers[region] = self._pool_cycler(region, exclude)
+            if any(cyclers[r] is None for r in alloc.path):
+                continue  # a region of this path has no usable VMs
+            # Every instance of an allocation is one parallel route whose
+            # achievable rate is roughly the path's bottleneck width, so
+            # byte shares are weighted by width per *instance*. Relay
+            # routes deliver below their width — per-hop forwarding
+            # overhead plus the chance that *either* hop hits bad weather
+            # — and overweighting them turns them into stragglers, so each
+            # extra WAN hop discounts the weight.
+            wan_hops = sum(
+                1
+                for a, b in zip(alloc.path[:-1], alloc.path[1:])
+                if a != b
+            )
+            discount = _RELAY_DELIVERY_DISCOUNT ** max(0, wan_hops - 1)
+            weight = max(alloc.base_throughput * discount, 1.0)
+            for _ in range(alloc.instances):
+                path_vms = [next(cyclers[r]) for r in alloc.path]
+                routes.append(
+                    RouteAssignment(
+                        path_vms,
+                        weight=weight,
+                        streams=cfg.streams,
+                        intrusiveness=intrusiveness,
+                    )
+                )
+        return routes
+
+    def _direct_routes(
+        self,
+        src_region: str,
+        dst_region: str,
+        n_nodes: int,
+        intrusiveness: float,
+        exclude: set[str],
+    ) -> list[RouteAssignment]:
+        cfg = self.config
+        senders = self._healthy_vms(src_region, exclude)
+        receivers = self._healthy_vms(dst_region, exclude)
+        if not senders or not receivers:
+            return []
+        n = max(1, min(n_nodes, len(senders)))
+        rcv = itertools.cycle(receivers)
+        return [
+            RouteAssignment(
+                [sender, next(rcv)],
+                weight=1.0,
+                streams=cfg.streams,
+                intrusiveness=intrusiveness,
+            )
+            for sender in senders[:n]
+        ]
+
+    # ------------------------------------------------------------------
+    # Managed execution
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_region: str,
+        dst_region: str,
+        size: float,
+        budget_usd: float | None = None,
+        deadline_s: float | None = None,
+        n_nodes: int | None = None,
+        intrusiveness: float | None = None,
+        on_complete: Callable[[ManagedTransfer], None] | None = None,
+        adaptive: bool = True,
+    ) -> ManagedTransfer:
+        """Start a managed wide-area transfer. Returns immediately; the
+        handle completes in simulated time."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        mt = ManagedTransfer(src_region, dst_region, size, on_complete)
+        mt.started_at = self.env.sim.now
+        thr = self.monitor.estimated_throughput(src_region, dst_region)
+        if thr != thr or thr <= 0:
+            # Unmonitored link: plan conservatively with one node.
+            chosen_nodes = n_nodes or 1
+            predicted = None
+        else:
+            if n_nodes is None:
+                option = self.choose_option(
+                    size, thr, budget_usd, deadline_s, intrusiveness
+                )
+                chosen_nodes = option.n_nodes
+                predicted = option.predicted_time
+                if budget_usd is not None:
+                    chosen_nodes = self._fit_budget(
+                        mt, size, thr, chosen_nodes, budget_usd, intrusiveness
+                    )
+                    predicted = self.time_model.estimate(size, thr, chosen_nodes)
+            else:
+                chosen_nodes = n_nodes
+                predicted = self.time_model.estimate(size, thr, chosen_nodes)
+        mt.prediction = predicted
+        # Deadline guarantees are only offered on the direct schema: the
+        # completion-time model predicts n parallel direct routes, so the
+        # plan must match it. Budget and unconstrained transfers use the
+        # full multi-datacenter schema.
+        multi_dc = False if deadline_s is not None else None
+        self._launch(
+            mt, size, chosen_nodes, intrusiveness, set(), adaptive, multi_dc
+        )
+        return mt
+
+    def _fit_budget(
+        self,
+        mt: ManagedTransfer,
+        size: float,
+        thr: float,
+        n_nodes: int,
+        budget_usd: float,
+        intrusiveness: float | None,
+    ) -> int:
+        """Shrink the node count until the *materialised* plan fits.
+
+        The option curve assumes a single datacenter boundary, but the
+        multi-path selector may route part of the payload through relay
+        datacenters, and every extra boundary bills egress again. The fix
+        is a feasibility loop over real plans, not a fudge factor: build
+        the plan, price its weighted hop count, and drop nodes until the
+        budget holds.
+        """
+        intr = intrusiveness if intrusiveness is not None else self.config.intrusiveness
+        best_n = 1
+        best_throughput = -1.0
+        for n in range(n_nodes, 0, -1):
+            plan = self.build_plan(
+                mt.src_region, mt.dst_region, n,
+                intrusiveness=intrusiveness, label="budget-probe",
+            )
+            total_w = sum(r.weight for r in plan.routes)
+            hops = (
+                sum(r.weight * r.wan_hop_count() for r in plan.routes) / total_w
+            )
+            predicted = self.time_model.estimate(size, thr, n)
+            cost = self.cost_model.estimate(
+                size, predicted, n, intrusiveness=intr, wan_hops=max(1.0, hops)
+            )
+            if cost.total_usd > budget_usd:
+                continue
+            # Among affordable plans, prefer the highest *materialised*
+            # throughput (sum of route widths), not the largest n — a
+            # relay-heavy plan can be both costlier and slower than a
+            # smaller all-direct one.
+            if total_w > best_throughput:
+                best_throughput = total_w
+                best_n = n
+        return best_n
+
+    def _launch(
+        self,
+        mt: ManagedTransfer,
+        remaining: float,
+        n_nodes: int,
+        intrusiveness: float | None,
+        exclude: set[str],
+        adaptive: bool,
+        multi_dc: bool | None = None,
+    ) -> None:
+        plan = self.build_plan(
+            mt.src_region,
+            mt.dst_region,
+            n_nodes,
+            intrusiveness=intrusiveness,
+            exclude_vms=exclude,
+            label=f"managed:{mt.transfer_id}",
+            allow_multi_dc=multi_dc,
+        )
+        mt.schema_history.append(plan.describe())
+        for route in plan.routes:
+            for vm in route.path:
+                self._busy_vms.add(vm.vm_id)
+
+        def _done(session: TransferSession) -> None:
+            self._release_plan(plan)
+            mt.bytes_confirmed += session.size
+            if mt.bytes_confirmed >= mt.size * 0.999:
+                mt.completed_at = self.env.sim.now
+                self._observe_gain(mt, n_nodes)
+                if mt.on_complete is not None:
+                    mt.on_complete(mt)
+
+        session = self.transfers.execute(plan, remaining, on_complete=_done)
+        mt.sessions.append(session)
+        if adaptive:
+            self.env.sim.schedule(
+                self.config.replan_interval,
+                self._check,
+                mt,
+                session,
+                n_nodes,
+                intrusiveness,
+                adaptive,
+                multi_dc,
+            )
+
+    def _release_plan(self, plan: TransferPlan) -> None:
+        for route in plan.routes:
+            for vm in route.path:
+                self._busy_vms.discard(vm.vm_id)
+
+    def _check(
+        self,
+        mt: ManagedTransfer,
+        session: TransferSession,
+        n_nodes: int,
+        intrusiveness: float | None,
+        adaptive: bool,
+        multi_dc: bool | None = None,
+    ) -> None:
+        """Periodic observe/re-plan step for one active session."""
+        if session.done or session.cancelled or mt.done:
+            return
+        cfg = self.config
+        if session.elapsed < cfg.warmup or mt.replans >= cfg.max_replans:
+            self.env.sim.schedule(
+                cfg.replan_interval, self._check, mt, session, n_nodes,
+                intrusiveness, adaptive, multi_dc,
+            )
+            return
+        # Health check over participating VMs.
+        unhealthy = {
+            vm.vm_id
+            for route in session.plan.routes
+            for vm in route.path
+            if self.monitor.node_health(vm) < cfg.health_threshold
+        }
+        # Performance check against the model.
+        thr_est = self.monitor.estimated_throughput(mt.src_region, mt.dst_region)
+        underperforming = False
+        if thr_est == thr_est and thr_est > 0:
+            predicted_rate = self.time_model.effective_throughput(thr_est, n_nodes)
+            achieved = session.mean_throughput()
+            underperforming = achieved < cfg.performance_threshold * predicted_rate
+        if unhealthy or underperforming:
+            remaining = session.cancel()
+            self._release_plan(session.plan)
+            mt.replans += 1
+            mt.bytes_confirmed += max(0.0, session.size - remaining)
+            if remaining <= 0:
+                return
+            self._launch(
+                mt, remaining, n_nodes, intrusiveness, unhealthy, adaptive,
+                multi_dc,
+            )
+        else:
+            self.env.sim.schedule(
+                cfg.replan_interval, self._check, mt, session, n_nodes,
+                intrusiveness, adaptive, multi_dc,
+            )
+
+    # ------------------------------------------------------------------
+    # Calibration feedback
+    # ------------------------------------------------------------------
+    def _observe_gain(self, mt: ManagedTransfer, n_nodes: int) -> None:
+        if n_nodes < 2 or not mt.elapsed:
+            return
+        achieved = mt.size / mt.elapsed
+        self._gain_observations.append((n_nodes, achieved))
+        base = self.monitor.estimated_throughput(mt.src_region, mt.dst_region)
+        if base == base and base > 0 and len(self._gain_observations) >= 3:
+            self.time_model.calibrate(self._gain_observations[-50:], base)
+            self.selector.gain = self.time_model.gain

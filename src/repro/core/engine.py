@@ -1,0 +1,68 @@
+"""Wiring of the three agents over a simulated cloud.
+
+:class:`SageEngine` is the composition root: it provisions the deployment,
+starts the Monitoring Agent on every inter-site link the deployment spans,
+builds the Transfer Service and the Decision Manager, and optionally runs a
+short learning phase so the link map is warm before the first application
+transfer — mirroring the deployment-startup learning phase of the real
+system.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.decision import DecisionConfig, DecisionManager
+from repro.monitor.agent import MonitorConfig, MonitoringAgent
+from repro.transfer.service import TransferService
+from repro.simulation.units import MINUTE
+
+
+class SageEngine:
+    """Monitoring + Transfer + Decision over one cloud environment."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        deployment_spec: dict[str, int] | None = None,
+        vm_size: str = "Small",
+        monitor_config: MonitorConfig | None = None,
+        decision_config: DecisionConfig | None = None,
+    ) -> None:
+        self.env = env
+        if deployment_spec:
+            for region, count in sorted(deployment_spec.items()):
+                env.provision(region, vm_size, count)
+        self.monitor = MonitoringAgent(
+            env.network, env.deployment, monitor_config
+        )
+        if env.deployment.size() >= 2 and len(env.deployment.regions()) >= 2:
+            self.monitor.watch_all_links()
+        self.transfers = TransferService(env, monitor=self.monitor)
+        self.decisions = DecisionManager(
+            env, self.monitor, self.transfers, decision_config
+        )
+
+    def start(self, learning_phase: float = 5 * MINUTE) -> None:
+        """Begin monitoring; run the initial learning phase synchronously.
+
+        After this returns, the link performance map has at least
+        ``learning_phase / interval`` samples per monitored link.
+        """
+        self.monitor.start(initial_round=True)
+        if learning_phase > 0:
+            self.env.run_until(self.env.now + learning_phase)
+
+    def stop(self) -> None:
+        self.monitor.stop()
+
+    # Shortcuts used throughout examples and benchmarks --------------------
+    @property
+    def sim(self):
+        return self.env.sim
+
+    @property
+    def deployment(self):
+        return self.env.deployment
+
+    def run_until(self, horizon: float) -> None:
+        self.env.run_until(horizon)

@@ -1,0 +1,68 @@
+"""SAGE wrapped in the common strategy contract.
+
+Benchmarks compare strategies through one interface
+(``run(engine, src, dst, size) -> BaselineResult``); this adapter exposes
+the decision-managed transfer the same way so sweeps treat the system
+under test and its comparators uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, run_transfer_to_completion
+from repro.core.engine import SageEngine
+
+
+class SageStrategy:
+    """The environment-aware, decision-managed transfer (system under test)."""
+
+    label = "GEO-SAGE"
+
+    def __init__(
+        self,
+        n_nodes: int | None = None,
+        budget_usd: float | None = None,
+        deadline_s: float | None = None,
+        intrusiveness: float | None = None,
+        adaptive: bool = True,
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.budget_usd = budget_usd
+        self.deadline_s = deadline_s
+        self.intrusiveness = intrusiveness
+        self.adaptive = adaptive
+
+    def run(
+        self,
+        engine: SageEngine,
+        src_region: str,
+        dst_region: str,
+        size: float,
+    ) -> BaselineResult:
+        before = engine.env.meter.snapshot()
+        holder = {}
+
+        def _start(done) -> None:
+            holder["mt"] = engine.decisions.transfer(
+                src_region,
+                dst_region,
+                size,
+                budget_usd=self.budget_usd,
+                deadline_s=self.deadline_s,
+                n_nodes=self.n_nodes,
+                intrusiveness=self.intrusiveness,
+                adaptive=self.adaptive,
+                on_complete=lambda _mt: done(),
+            )
+
+        seconds = run_transfer_to_completion(engine, _start)
+        spent = engine.env.meter.snapshot() - before
+        mt = holder["mt"]
+        vm_seconds = sum(
+            s.plan.vm_count() * s.elapsed for s in mt.sessions
+        )
+        return BaselineResult(
+            label=self.label,
+            seconds=seconds,
+            egress_usd=spent.egress_usd,
+            vm_seconds_busy=vm_seconds,
+        )

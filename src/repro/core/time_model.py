@@ -1,0 +1,91 @@
+"""Predicting transfer completion time.
+
+The model deliberately trades accuracy for generality: a single estimated
+link throughput ``θ`` (from the monitoring model) plus one empirical
+parameter ``gain ∈ (0, 1)`` describing how much each extra parallel node
+contributes::
+
+    T(size, n) = size / θ · 1 / (1 + (n - 1) · gain)
+
+``gain < 1`` captures the three reasons n nodes never give n× speed-up:
+the WAN capacity is bounded, fanning data out to helpers costs intra-site
+bandwidth, and VM performance varies. The parameter is *calibrated online*
+from (n, achieved-throughput) observations rather than set by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TransferTimeModel:
+    """Parallel-transfer completion-time estimator."""
+
+    #: Marginal efficiency of each additional node (empirical, < 1).
+    gain: float = 0.65
+    #: Bounds used when calibrating from observations.
+    gain_bounds: tuple[float, float] = (0.05, 0.98)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.gain_bounds
+        if not (0 < lo <= hi < 1):
+            raise ValueError("gain bounds must satisfy 0 < lo <= hi < 1")
+        if not (0 < self.gain < 1):
+            raise ValueError("gain must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    def speedup(self, n_nodes: int) -> float:
+        """Effective throughput multiplier of ``n_nodes`` parallel senders."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return 1.0 + (n_nodes - 1) * self.gain
+
+    def estimate(self, size: float, throughput: float, n_nodes: int = 1) -> float:
+        """Predicted completion time in seconds."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if throughput <= 0:
+            raise ValueError("throughput must be positive")
+        return size / (throughput * self.speedup(n_nodes))
+
+    def effective_throughput(self, throughput: float, n_nodes: int) -> float:
+        return throughput * self.speedup(n_nodes)
+
+    def nodes_for_deadline(
+        self, size: float, throughput: float, deadline: float, max_nodes: int = 64
+    ) -> int | None:
+        """Fewest nodes meeting ``deadline``, or None if unreachable."""
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        for n in range(1, max_nodes + 1):
+            if self.estimate(size, throughput, n) <= deadline:
+                return n
+        return None
+
+    # ------------------------------------------------------------------
+    # Online calibration
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, observations: list[tuple[int, float]], base_throughput: float
+    ) -> float:
+        """Refit ``gain`` from (n_nodes, achieved_throughput) pairs.
+
+        Least-squares on ``achieved/base = 1 + (n-1)·gain`` restricted to
+        n ≥ 2 (n = 1 carries no information about the slope). Returns the
+        new gain; keeps the old one when observations are insufficient.
+        """
+        if base_throughput <= 0:
+            raise ValueError("base_throughput must be positive")
+        pts = [(n, thr) for n, thr in observations if n >= 2 and thr > 0]
+        if not pts:
+            return self.gain
+        x = np.array([n - 1 for n, _ in pts], dtype=float)
+        y = np.array([thr / base_throughput - 1.0 for _, thr in pts])
+        # Slope through the origin: gain = Σxy / Σx².
+        gain = float((x * y).sum() / (x * x).sum())
+        lo, hi = self.gain_bounds
+        self.gain = min(hi, max(lo, gain))
+        return self.gain

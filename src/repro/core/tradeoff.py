@@ -1,0 +1,143 @@
+"""The money ↔ time trade-off engine.
+
+Given the current link estimate, enumerating candidate node counts yields a
+(time, cost) curve. This module answers the three questions the
+application-facing API exposes:
+
+* *"I have B dollars"* → the largest node count whose predicted cost stays
+  under B (fastest transfer within budget);
+* *"I need it by T"* → the cheapest node count meeting the deadline;
+* *"just be reasonable"* → the knee of the curve: the point with the best
+  time reduction per extra dollar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import CostBreakdown, CostModel
+from repro.core.time_model import TransferTimeModel
+
+
+@dataclass(frozen=True)
+class TransferOption:
+    """One candidate configuration on the trade-off curve."""
+
+    n_nodes: int
+    predicted_time: float
+    cost: CostBreakdown
+
+    @property
+    def usd(self) -> float:
+        return self.cost.total_usd
+
+
+class TradeoffAnalyzer:
+    """Enumerates and searches the (time, cost) curve."""
+
+    def __init__(
+        self,
+        time_model: TransferTimeModel,
+        cost_model: CostModel,
+        max_nodes: int = 32,
+    ) -> None:
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        self.time_model = time_model
+        self.cost_model = cost_model
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    def options(
+        self,
+        size: float,
+        throughput: float,
+        intrusiveness: float = 1.0,
+        wan_hops: int = 1,
+        max_nodes: int | None = None,
+    ) -> list[TransferOption]:
+        """The full candidate list for n = 1 .. max_nodes."""
+        limit = max_nodes or self.max_nodes
+        out: list[TransferOption] = []
+        for n in range(1, limit + 1):
+            t = self.time_model.estimate(size, throughput, n)
+            c = self.cost_model.estimate(
+                size, t, n, intrusiveness=intrusiveness, wan_hops=wan_hops
+            )
+            out.append(TransferOption(n, t, c))
+        return out
+
+    # ------------------------------------------------------------------
+    def nodes_within_budget(
+        self,
+        size: float,
+        throughput: float,
+        budget_usd: float,
+        intrusiveness: float = 1.0,
+        wan_hops: int = 1,
+    ) -> TransferOption | None:
+        """Fastest option whose predicted cost fits the budget.
+
+        Returns None when even a single node exceeds the budget (the
+        caller must surface this to the user rather than overspend).
+        """
+        feasible = [
+            o
+            for o in self.options(size, throughput, intrusiveness, wan_hops)
+            if o.usd <= budget_usd
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda o: (o.predicted_time, o.usd))
+
+    def cheapest_within_deadline(
+        self,
+        size: float,
+        throughput: float,
+        deadline_s: float,
+        intrusiveness: float = 1.0,
+        wan_hops: int = 1,
+    ) -> TransferOption | None:
+        """Cheapest option meeting the deadline, or None if unreachable."""
+        feasible = [
+            o
+            for o in self.options(size, throughput, intrusiveness, wan_hops)
+            if o.predicted_time <= deadline_s
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda o: (o.usd, o.predicted_time))
+
+    # ------------------------------------------------------------------
+    def pareto_front(self, options: list[TransferOption]) -> list[TransferOption]:
+        """Options not dominated in both time and cost, sorted by time."""
+        ordered = sorted(options, key=lambda o: (o.predicted_time, o.usd))
+        front: list[TransferOption] = []
+        best_cost = float("inf")
+        for o in ordered:
+            if o.usd < best_cost:
+                front.append(o)
+                best_cost = o.usd
+        return front
+
+    def knee(self, options: list[TransferOption]) -> TransferOption:
+        """The sweet spot: maximum time reduction per extra dollar.
+
+        Computed on the Pareto front as the point maximising the
+        normalised distance to the (max time, max cost) anti-ideal —
+        a standard knee heuristic that is robust to curve scale.
+        """
+        front = self.pareto_front(options)
+        if len(front) == 1:
+            return front[0]
+        t_lo = min(o.predicted_time for o in front)
+        t_hi = max(o.predicted_time for o in front)
+        c_lo = min(o.usd for o in front)
+        c_hi = max(o.usd for o in front)
+        t_span = (t_hi - t_lo) or 1.0
+        c_span = (c_hi - c_lo) or 1.0
+
+        def badness(o: TransferOption) -> float:
+            return (o.predicted_time - t_lo) / t_span + (o.usd - c_lo) / c_span
+
+        return min(front, key=badness)

@@ -1,0 +1,252 @@
+"""Online estimators: the sample-integration strategies under evaluation.
+
+All estimators consume a timestamped stream of samples of one metric and
+expose a current prediction ``mean`` plus an uncertainty ``std``. Memory is
+O(1): the variability recurrence carries a second moment instead of storing
+the window, exactly so a monitoring agent can track dozens of links in a
+small VM.
+
+The weighted strategy (WSI) encodes three observations about cloud
+telemetry:
+
+* in a *stable* environment an outlier sample is most likely a glitch and
+  should be trusted little → Gaussian plausibility term;
+* when the environment is genuinely *volatile* (large σ), far-off samples
+  must still be accepted or the model can never follow a level shift → the
+  same Gaussian term, which flattens as σ grows;
+* a sample arriving after a long silence carries more information than one
+  of a dense burst → temporal-rarity term.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Protocol
+
+
+class Estimator(Protocol):
+    """Common protocol of all sample-integration strategies."""
+
+    name: str
+
+    def update(self, time: float, sample: float) -> None:  # pragma: no cover
+        ...
+
+    @property
+    def mean(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def std(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class _Base:
+    """Shared bookkeeping: sample count and last-update time."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.samples_seen = 0
+        self.last_time: float | None = None
+
+    def _tick(self, time: float) -> float:
+        """Record the sample time; returns seconds since previous sample."""
+        dt = float("inf") if self.last_time is None else time - self.last_time
+        if dt < 0:
+            raise ValueError("samples must arrive in time order")
+        self.last_time = time
+        self.samples_seen += 1
+        return dt
+
+    @property
+    def ready(self) -> bool:
+        return self.samples_seen > 0
+
+
+class LastSampleEstimator(_Base):
+    """"Monitor" strategy: the latest sample *is* the prediction.
+
+    Cheapest possible model and what most deployed systems do — and the
+    worst tracker under cloud variability, as experiment E2 shows.
+    """
+
+    name = "Monitor"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._value = float("nan")
+
+    def update(self, time: float, sample: float) -> None:
+        self._tick(time)
+        self._value = float(sample)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def std(self) -> float:
+        return 0.0
+
+
+class SlidingMeanEstimator(_Base):
+    """"LSI" strategy: plain average of the last ``window`` samples."""
+
+    name = "LSI"
+
+    def __init__(self, window: int = 30) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._buf: deque[float] = deque(maxlen=window)
+
+    def update(self, time: float, sample: float) -> None:
+        self._tick(time)
+        self._buf.append(float(sample))
+
+    @property
+    def mean(self) -> float:
+        if not self._buf:
+            return float("nan")
+        return sum(self._buf) / len(self._buf)
+
+    @property
+    def std(self) -> float:
+        n = len(self._buf)
+        if n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((x - m) ** 2 for x in self._buf) / n)
+
+
+class EwmaEstimator(_Base):
+    """Exponentially weighted moving average (ablation arm for WSI).
+
+    Fixed-gain smoothing: every sample gets the same weight ``alpha``
+    regardless of how plausible or how rare it is.
+    """
+
+    name = "EWMA"
+
+    def __init__(self, alpha: float = 0.15) -> None:
+        super().__init__()
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._mean = float("nan")
+        self._var = 0.0
+
+    def update(self, time: float, sample: float) -> None:
+        self._tick(time)
+        s = float(sample)
+        if math.isnan(self._mean):
+            self._mean = s
+            self._var = 0.0
+            return
+        delta = s - self._mean
+        self._mean += self.alpha * delta
+        # Standard EWM variance recurrence.
+        self._var = (1 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self._var, 0.0))
+
+
+class WeightedSampleEstimator(_Base):
+    """"WSI" strategy: per-sample trust weighting, O(1) memory.
+
+    Each sample ``S`` receives a weight in (0, 1)::
+
+        w = ( exp(-(mean - S)^2 / (2 sigma^2)) + min(dt, T) / T ) / 2
+
+    combining Gaussian plausibility under the current model with temporal
+    rarity (samples arriving after a long gap are more valuable). The mean
+    and the second moment are then damped over an effective history of
+    ``history`` samples::
+
+        mean' = mean + (w / history) * (S - mean)
+        m2'   = m2   + (w / history) * (S^2 - m2)
+        sigma = sqrt(max(m2 - mean^2, 0))
+
+    which is the constant-memory rewriting of a weighted sliding-window
+    average: no window buffer, yet the update rate adapts per sample.
+    """
+
+    name = "WSI"
+
+    def __init__(
+        self,
+        history: int = 12,
+        time_reference: float = 600.0,
+        sigma_floor_frac: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        if time_reference <= 0:
+            raise ValueError("time_reference must be positive")
+        self.history = history
+        self.time_reference = time_reference
+        self.sigma_floor_frac = sigma_floor_frac
+        self._mean = float("nan")
+        self._m2 = float("nan")
+
+    def weight(self, time: float, sample: float, dt: float) -> float:
+        """Trust assigned to a sample before integrating it."""
+        sigma = self.std
+        floor = abs(self._mean) * self.sigma_floor_frac
+        sigma = max(sigma, floor, 1e-12)
+        gauss = math.exp(-((self._mean - sample) ** 2) / (2.0 * sigma * sigma))
+        # Rarity: dt >= time_reference → fully rare (1); dense burst → ~0.
+        rarity = min(dt, self.time_reference) / self.time_reference
+        return (gauss + rarity) / 2.0
+
+    def update(self, time: float, sample: float) -> None:
+        dt = self._tick(time)
+        s = float(sample)
+        if math.isnan(self._mean):
+            self._mean = s
+            # Seed the uncertainty so early Gaussian terms are permissive.
+            seed_sigma = max(abs(s) * 0.2, 1e-12)
+            self._m2 = s * s + seed_sigma * seed_sigma
+            return
+        w = self.weight(time, s, dt)
+        gain = w / self.history
+        self._mean += gain * (s - self._mean)
+        self._m2 += gain * (s * s - self._m2)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        if math.isnan(self._m2):
+            return 0.0
+        return math.sqrt(max(self._m2 - self._mean * self._mean, 0.0))
+
+
+_FACTORIES = {
+    "Monitor": LastSampleEstimator,
+    "LSI": SlidingMeanEstimator,
+    "EWMA": EwmaEstimator,
+    "WSI": WeightedSampleEstimator,
+}
+
+
+def make_estimator(strategy: str, **kwargs) -> Estimator:
+    """Instantiate an estimator by strategy name ("Monitor"/"LSI"/"EWMA"/"WSI")."""
+    try:
+        factory = _FACTORIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,166 @@
+"""Offline profiling and anomaly detection over the monitoring history.
+
+The tracked logs serve two audiences: scientists profiling their cloud
+application after the run, and the self-healing loop looking for
+*sustained* deviations (a link that has genuinely deteriorated, a VM
+whose delivered performance no longer matches its class) as opposed to
+the transient glitches the estimators are built to ride out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.history import MetricHistory
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected sustained deviation."""
+
+    metric: str
+    kind: str  # "level-drop" | "level-rise" | "high-variance"
+    start_time: float
+    magnitude: float
+    description: str
+
+
+@dataclass(frozen=True)
+class MetricProfile:
+    """Summary of one metric's behaviour over the recorded period."""
+
+    metric: str
+    samples: int
+    mean: float
+    std: float
+    cv: float
+    p05: float
+    p95: float
+    trend_per_hour: float
+
+    def is_stable(self, cv_threshold: float = 0.25) -> bool:
+        return self.cv < cv_threshold
+
+
+class HistoryProfiler:
+    """Analyses recorded metric histories."""
+
+    def __init__(
+        self,
+        window: int = 30,
+        drop_threshold: float = 0.65,
+        rise_threshold: float = 1.5,
+        variance_threshold: float = 0.5,
+    ) -> None:
+        if window < 4:
+            raise ValueError("window must be >= 4")
+        self.window = window
+        self.drop_threshold = drop_threshold
+        self.rise_threshold = rise_threshold
+        self.variance_threshold = variance_threshold
+
+    # ------------------------------------------------------------------
+    def profile(self, metric: str, history: MetricHistory) -> MetricProfile:
+        values = history.values()
+        times = history.times()
+        if values.size == 0:
+            raise ValueError(f"no samples recorded for {metric}")
+        if values.size >= 2 and times[-1] > times[0]:
+            slope = np.polyfit(times, values, 1)[0] * 3600.0
+        else:
+            slope = 0.0
+        return MetricProfile(
+            metric=metric,
+            samples=int(values.size),
+            mean=float(values.mean()),
+            std=float(values.std()),
+            cv=float(values.std() / values.mean()) if values.mean() else float("nan"),
+            p05=float(np.percentile(values, 5)),
+            p95=float(np.percentile(values, 95)),
+            trend_per_hour=float(slope),
+        )
+
+    # ------------------------------------------------------------------
+    def detect_anomalies(
+        self, metric: str, history: MetricHistory
+    ) -> list[Anomaly]:
+        """Find sustained level shifts and variance blow-ups.
+
+        A *sustained* deviation is a full window whose mean departs from
+        the preceding baseline — single-sample glitches never span a
+        window and are ignored by construction.
+        """
+        values = history.values()
+        times = history.times()
+        w = self.window
+        if values.size < 2 * w:
+            return []
+        anomalies: list[Anomaly] = []
+        baseline_mean = values[:w].mean()
+        baseline_std = max(values[:w].std(), 1e-12)
+        in_anomaly = False
+        for i in range(w, values.size - w + 1, w):
+            chunk = values[i : i + w]
+            ratio = chunk.mean() / baseline_mean if baseline_mean else 1.0
+            if ratio < self.drop_threshold and not in_anomaly:
+                anomalies.append(
+                    Anomaly(
+                        metric,
+                        "level-drop",
+                        float(times[i]),
+                        ratio,
+                        f"mean fell to {ratio:.0%} of baseline",
+                    )
+                )
+                in_anomaly = True
+            elif ratio > self.rise_threshold and not in_anomaly:
+                anomalies.append(
+                    Anomaly(
+                        metric,
+                        "level-rise",
+                        float(times[i]),
+                        ratio,
+                        f"mean rose to {ratio:.0%} of baseline",
+                    )
+                )
+                in_anomaly = True
+            elif (
+                self.drop_threshold <= ratio <= self.rise_threshold and in_anomaly
+            ):
+                in_anomaly = False
+                # Recovered: fold the chunk into a fresh baseline.
+                baseline_mean = chunk.mean()
+                baseline_std = max(chunk.std(), 1e-12)
+            if chunk.std() > self.variance_threshold * chunk.mean() > 0:
+                anomalies.append(
+                    Anomaly(
+                        metric,
+                        "high-variance",
+                        float(times[i]),
+                        float(chunk.std() / chunk.mean()),
+                        f"CV {chunk.std() / chunk.mean():.0%} within window",
+                    )
+                )
+        return anomalies
+
+    # ------------------------------------------------------------------
+    def report(self, histories: dict[str, MetricHistory]) -> str:
+        """Human-readable profile of every recorded metric."""
+        lines = ["metric profile report", "=" * 21]
+        for metric in sorted(histories):
+            history = histories[metric]
+            if len(history) == 0:
+                continue
+            p = self.profile(metric, history)
+            anomalies = self.detect_anomalies(metric, history)
+            stability = "stable" if p.is_stable() else "volatile"
+            lines.append(
+                f"{metric}: n={p.samples} mean={p.mean:.3g} cv={p.cv:.0%} "
+                f"[{p.p05:.3g}, {p.p95:.3g}] trend={p.trend_per_hour:+.3g}/h "
+                f"({stability}, {len(anomalies)} anomalies)"
+            )
+            for a in anomalies[:5]:
+                lines.append(f"  - {a.kind} @t={a.start_time:.0f}: {a.description}")
+        return "\n".join(lines)

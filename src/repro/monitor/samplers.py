@@ -1,0 +1,131 @@
+"""Pluggable samplers feeding the Monitoring Agent.
+
+A sampler measures one metric once per invocation. Two measurement styles
+exist for link throughput, with the trade-off experiment E3 quantifies:
+
+* :class:`PassiveLinkSampler` — an iperf-style estimate of the currently
+  achievable single-flow rate. Cheap (no payload) but noisy.
+* :class:`ActiveProbeSampler` — ships a real probe payload through the
+  fluid network and reports achieved throughput. Accurate, but the probe
+  genuinely consumes NIC/link bandwidth, so it is visible to concurrent
+  application transfers (intrusiveness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.cloud.network import FluidNetwork, Flow
+from repro.cloud.vm import VM
+from repro.simulation.units import MB
+
+
+class Sampler(Protocol):
+    """One measurable metric."""
+
+    metric: str
+
+    def sample(self, on_value: Callable[[float, float], None]) -> None:
+        """Take one measurement; report via ``on_value(time, value)``.
+
+        Reporting is callback-based because active samplers complete
+        asynchronously in simulated time.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class PassiveLinkSampler:
+    """Noisy observation of the currently achievable single-flow rate.
+
+    The default dispersion (15 %) matches what short iperf-style probes
+    actually show on wide-area paths; it is the reason integrating
+    samples (LSI/WSI) beats trusting the latest one.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        src: VM,
+        dst: VM,
+        streams: int = 1,
+        noise_cv: float = 0.15,
+    ) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.streams = streams
+        self.noise_cv = noise_cv
+        self.metric = f"thr/{src.region_code}->{dst.region_code}"
+        self._rng = network.sim.rngs.get(f"sampler/{self.metric}/{src.vm_id}")
+
+    def sample(self, on_value: Callable[[float, float], None]) -> None:
+        truth = self.network.isolated_rate([self.src, self.dst], self.streams)
+        noise = self._rng.lognormal(mean=0.0, sigma=self.noise_cv)
+        on_value(self.network.sim.now, truth * noise)
+
+
+class ActiveProbeSampler:
+    """Measure throughput by actually transferring a probe payload."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        src: VM,
+        dst: VM,
+        probe_size: float = 8 * MB,
+        streams: int = 1,
+        intrusiveness: float = 1.0,
+    ) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.probe_size = probe_size
+        self.streams = streams
+        self.intrusiveness = intrusiveness
+        self.metric = f"thr/{src.region_code}->{dst.region_code}"
+        self.probes_sent = 0
+        self.bytes_probed = 0.0
+        self._in_flight = False
+
+    def sample(self, on_value: Callable[[float, float], None]) -> None:
+        if self._in_flight:
+            # Never stack probes on the same link — that would measure
+            # self-interference, not the link.
+            return
+        self._in_flight = True
+        started = self.network.sim.now
+
+        def _done(flow: Flow) -> None:
+            self._in_flight = False
+            elapsed = self.network.sim.now - started
+            if elapsed > 0:
+                on_value(self.network.sim.now, flow.size / elapsed)
+
+        self.probes_sent += 1
+        self.bytes_probed += self.probe_size
+        self.network.start_flow(
+            Flow(
+                [self.src, self.dst],
+                self.probe_size,
+                streams=self.streams,
+                intrusiveness=self.intrusiveness,
+                on_complete=_done,
+                label=f"probe:{self.metric}",
+            )
+        )
+
+
+class CpuSampler:
+    """Observed spare CPU fraction of a VM (benchmark-style measurement)."""
+
+    def __init__(self, vm: VM, network: FluidNetwork, noise_cv: float = 0.03) -> None:
+        self.vm = vm
+        self.network = network
+        self.noise_cv = noise_cv
+        self.metric = f"cpu/{vm.vm_id}"
+        self._rng = network.sim.rngs.get(f"sampler/{self.metric}")
+
+    def sample(self, on_value: Callable[[float, float], None]) -> None:
+        spare = max(0.0, 1.0 - self.vm.cpu_load) * self.vm.health
+        noise = self._rng.lognormal(mean=0.0, sigma=self.noise_cv)
+        on_value(self.network.sim.now, min(1.0, spare * noise))

@@ -1,0 +1,167 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns virtual time. Components schedule callbacks with
+:meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.schedule_at`
+(absolute time); :meth:`Simulator.run_until` drains the event queue up to a
+horizon. Periodic activities (monitoring probes, capacity re-sampling,
+stream ticks) use :meth:`Simulator.add_periodic`, which reschedules itself
+and can be stopped through the returned :class:`PeriodicTask` handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.random import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling in the past or a runaway event loop."""
+
+
+class Simulator:
+    """Deterministic event-driven virtual-time executor."""
+
+    def __init__(self, seed: int = 0, max_events: int = 50_000_000) -> None:
+        self.now: float = 0.0
+        self.rngs = RngRegistry(seed)
+        self.queue = EventQueue()
+        self.events_processed: int = 0
+        #: Hard cap guarding against accidental infinite self-rescheduling.
+        self.max_events = max_events
+        self._tracers: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.queue.push(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        return self.queue.push(time, callback, args, priority)
+
+    def add_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: float | None = None,
+        priority: int = 0,
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``interval`` seconds until stopped.
+
+        ``start_delay`` defaults to one full interval (i.e. the first firing
+        is at ``now + interval``); pass ``0.0`` to fire immediately.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval!r}")
+        task = PeriodicTask(self, interval, callback, args, priority)
+        task._arm(interval if start_delay is None else start_delay)
+        return task
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process a single event. Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue produced time travel")
+        self.now = event.time
+        self.events_processed += 1
+        if self.events_processed > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                "likely a runaway periodic task"
+            )
+        for tracer in self._tracers:
+            tracer(event)
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, horizon: float) -> None:
+        """Process events with time ≤ horizon, then set ``now = horizon``."""
+        if horizon < self.now:
+            raise SimulationError(f"horizon {horizon} < now {self.now}")
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            self.step()
+        self.now = horizon
+
+    def run(self) -> None:
+        """Drain the queue completely (use with care: periodic tasks must
+        be stopped first or this never terminates before ``max_events``)."""
+        while self.step():
+            pass
+
+    def add_tracer(self, tracer: Callable[[Event], None]) -> None:
+        """Register a hook called before each event executes (debug aid)."""
+        self._tracers.append(tracer)
+
+
+class PeriodicTask:
+    """Handle for a self-rescheduling periodic callback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        priority: int,
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.priority = priority
+        self.fired: int = 0
+        self._event: Event | None = None
+        self._stopped = False
+
+    def _arm(self, delay: float) -> None:
+        if not self._stopped:
+            self._event = self.sim.schedule(
+                delay, self._fire, priority=self.priority
+            )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fired += 1
+        self.callback(*self.args)
+        self._arm(self.interval)
+
+    def stop(self) -> None:
+        """Stop future firings (the currently queued one is cancelled)."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,67 @@
+"""Unit constants and human-readable formatting helpers.
+
+The simulator uses plain floats everywhere: *seconds* for time and *bytes*
+for data sizes. These constants keep call sites legible (``3 * GB``,
+``10 * MINUTE``) without introducing heavyweight unit types into hot paths.
+"""
+
+from __future__ import annotations
+
+#: One kilobyte (binary, 1024 bytes) — cloud storage and transfer tools
+#: overwhelmingly report KiB/MiB/GiB while labelling them KB/MB/GB.
+KB: float = 1024.0
+MB: float = 1024.0 * KB
+GB: float = 1024.0 * MB
+TB: float = 1024.0 * GB
+
+#: One megabit per second expressed in bytes/second. VM NICs are specified
+#: in Mbps (e.g. the Small instance's 100 Mbps) while the flow model works
+#: in bytes/second.
+MBPS: float = 1e6 / 8.0
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24.0 * HOUR
+
+
+def format_bytes(size: float) -> str:
+    """Render a byte count as a short human-readable string.
+
+    >>> format_bytes(1536)
+    '1.50 KB'
+    >>> format_bytes(3 * GB)
+    '3.00 GB'
+    """
+    size = float(size)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(size) >= unit:
+            return f"{size / unit:.2f} {name}"
+    return f"{size:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in seconds as a short human-readable string.
+
+    >>> format_duration(90)
+    '1m30s'
+    >>> format_duration(0.25)
+    '250ms'
+    """
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m{s:02.0f}s"
+    if seconds < DAY:
+        h, rem = divmod(seconds, HOUR)
+        m = rem / MINUTE
+        return f"{int(h)}h{int(m):02d}m"
+    d, rem = divmod(seconds, DAY)
+    h = rem / HOUR
+    return f"{int(d)}d{int(h):02d}h"

@@ -1,0 +1,52 @@
+"""Stream records and wide-area batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stream event.
+
+    ``event_time`` is when the phenomenon happened (source clock);
+    end-to-end latency is always measured against event time, so queueing,
+    batching and WAN delays all show up in it.
+    """
+
+    event_time: float
+    key: str
+    value: Any
+    origin: str = ""
+    size_bytes: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("record size must be positive")
+
+
+@dataclass
+class Batch:
+    """A set of records (or partial aggregates) packed for the WAN."""
+
+    records: list[Record]
+    origin: str
+    created_at: float
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a batch cannot be empty")
+
+    @property
+    def size_bytes(self) -> float:
+        return sum(r.size_bytes for r in self.records)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def oldest_event_time(self) -> float:
+        return min(r.event_time for r in self.records)

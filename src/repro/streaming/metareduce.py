@@ -1,0 +1,153 @@
+"""Multi-site MapReduce with a Meta-Reducer.
+
+The pattern behind the A-Brain deployment: the application's resource
+needs exceed what one datacenter will grant, so a MapReduce stage runs in
+*each* datacenter over its local partition, and the per-site reducer
+outputs (many partial-result files) are shipped to a single Meta-Reducer
+site that merges them into the global result. Wide-area shipping of those
+partial files is the dominant cost — and the piece the transfer substrate
+accelerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.engine import SageEngine
+from repro.simulation.units import MB
+from repro.streaming.events import Batch, Record
+
+
+@dataclass
+class MapReduceSiteSpec:
+    """One site's share of the job."""
+
+    region: str
+    #: Sizes (bytes) of the partial-result files the site produces.
+    partial_files: list[float]
+    #: Seconds of site-local compute before partials start flowing.
+    compute_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.partial_files:
+            raise ValueError(f"site {self.region} produces no partials")
+        if any(sz <= 0 for sz in self.partial_files):
+            raise ValueError("partial file sizes must be positive")
+
+
+@dataclass
+class MetaReduceReport:
+    """Outcome of one multi-site run."""
+
+    completion_time: float
+    transfer_time: float
+    files_delivered: int
+    bytes_delivered: float
+    per_site_transfer_time: dict[str, float]
+
+    @property
+    def mean_file_time(self) -> float:
+        return self.transfer_time / self.files_delivered if self.files_delivered else 0.0
+
+
+class MetaReducer:
+    """Runs the shipping phase of a multi-site MapReduce to completion.
+
+    ``shipping_factory(engine, src_vms, dst_vm)`` builds the backend per
+    site — the same factories the streaming runtime uses (Sage, direct,
+    blob), so backends are compared on identical workloads.
+    """
+
+    def __init__(
+        self,
+        engine: SageEngine,
+        sites: list[MapReduceSiteSpec],
+        reducer_region: str,
+        shipping_factory,
+        files_in_flight_per_site: int = 4,
+        reduce_rate: float = 200 * MB,
+    ) -> None:
+        if not sites:
+            raise ValueError("need at least one map site")
+        self.engine = engine
+        self.sites = sites
+        self.reducer_region = reducer_region
+        reducer_vms = engine.deployment.vms(reducer_region)
+        if not reducer_vms:
+            raise ValueError(f"no VMs in reducer region {reducer_region}")
+        self.reducer_vm = reducer_vms[0]
+        self.files_in_flight = files_in_flight_per_site
+        self.reduce_rate = reduce_rate
+        self._backends = {}
+        for spec in sites:
+            src_vms = engine.deployment.vms(spec.region)
+            if not src_vms:
+                raise ValueError(f"no VMs in map region {spec.region}")
+            self._backends[spec.region] = shipping_factory(
+                engine, src_vms, self.reducer_vm
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, timeout: float = 7 * 24 * 3600.0) -> MetaReduceReport:
+        """Execute shipping + final reduce; blocks in simulated time."""
+        start = self.engine.sim.now
+        state = {
+            "delivered": 0,
+            "bytes": 0.0,
+            "site_done_at": {},
+            "all_shipped_at": None,
+        }
+        total_files = sum(len(s.partial_files) for s in self.sites)
+
+        for spec in self.sites:
+            self._start_site(spec, state, start)
+
+        deadline = start + timeout
+        while state["delivered"] < total_files and self.engine.sim.now < deadline:
+            self.engine.run_until(min(self.engine.sim.now + 10.0, deadline))
+        if state["delivered"] < total_files:
+            raise TimeoutError(
+                f"meta-reduce shipped {state['delivered']}/{total_files} "
+                f"files before timeout"
+            )
+        transfer_end = self.engine.sim.now
+        # Final reduce pass over everything received.
+        reduce_time = state["bytes"] / self.reduce_rate
+        self.engine.run_until(transfer_end + reduce_time)
+        return MetaReduceReport(
+            completion_time=self.engine.sim.now - start,
+            transfer_time=transfer_end - start,
+            files_delivered=state["delivered"],
+            bytes_delivered=state["bytes"],
+            per_site_transfer_time={
+                region: t - start for region, t in state["site_done_at"].items()
+            },
+        )
+
+    def _start_site(self, spec: MapReduceSiteSpec, state: dict, start: float) -> None:
+        backend = self._backends[spec.region]
+        queue = list(enumerate(spec.partial_files))
+        outstanding = {"n": 0}
+
+        def _pump() -> None:
+            while queue and outstanding["n"] < self.files_in_flight:
+                idx, size = queue.pop(0)
+                outstanding["n"] += 1
+                record = Record(
+                    event_time=self.engine.sim.now,
+                    key=f"{spec.region}/part-{idx:05d}",
+                    value=None,
+                    origin=spec.region,
+                    size_bytes=size,
+                )
+                batch = Batch([record], spec.region, self.engine.sim.now, seq=idx)
+                backend.ship(batch, _delivered)
+
+        def _delivered(batch: Batch) -> None:
+            outstanding["n"] -= 1
+            state["delivered"] += 1
+            state["bytes"] += batch.size_bytes
+            if not queue and outstanding["n"] == 0:
+                state["site_done_at"][spec.region] = self.engine.sim.now
+            _pump()
+
+        self.engine.sim.schedule(spec.compute_time, _pump)

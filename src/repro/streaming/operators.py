@@ -1,0 +1,205 @@
+"""Stream operators and mergeable aggregates.
+
+The site-local analysis chain is a list of operators. The last stage is
+usually a :class:`WindowedAggregator`, which turns raw records into
+*partial aggregates* — the crucial data-reduction step before the wide
+area. Partials are mergeable: the global aggregator combines partials from
+every site into the exact global result, so shipping partials instead of
+raw records loses nothing but volume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.streaming.events import Record
+from repro.streaming.windows import Window
+
+
+class Operator(Protocol):
+    """A per-record transformation. Returns zero or more records."""
+
+    def process(self, record: Record) -> list[Record]:  # pragma: no cover
+        ...
+
+
+class MapOperator:
+    """Apply a function to each record's value (and optionally key)."""
+
+    def __init__(
+        self,
+        fn: Callable[[Record], Record],
+    ) -> None:
+        self.fn = fn
+
+    def process(self, record: Record) -> list[Record]:
+        out = self.fn(record)
+        return [out] if out is not None else []
+
+
+class FilterOperator:
+    """Keep records matching a predicate."""
+
+    def __init__(self, predicate: Callable[[Record], bool]) -> None:
+        self.predicate = predicate
+
+    def process(self, record: Record) -> list[Record]:
+        return [record] if self.predicate(record) else []
+
+
+@dataclass(frozen=True)
+class AggregateFn:
+    """A mergeable aggregation: zero / add / merge / result.
+
+    ``add`` folds one raw value into a partial state; ``merge`` combines
+    two partial states; ``result`` finalises. The merge must be
+    associative and commutative — the property-based tests verify this for
+    the built-ins.
+    """
+
+    name: str
+    zero: Callable[[], Any]
+    add: Callable[[Any, Any], Any]
+    merge: Callable[[Any, Any], Any]
+    result: Callable[[Any], Any]
+
+
+def builtin_aggregate(name: str) -> AggregateFn:
+    """Built-in aggregates: count, sum, mean, min, max, var."""
+    if name == "count":
+        return AggregateFn(
+            "count",
+            zero=lambda: 0,
+            add=lambda s, v: s + 1,
+            merge=lambda a, b: a + b,
+            result=lambda s: s,
+        )
+    if name == "sum":
+        return AggregateFn(
+            "sum",
+            zero=lambda: 0.0,
+            add=lambda s, v: s + float(v),
+            merge=lambda a, b: a + b,
+            result=lambda s: s,
+        )
+    if name == "min":
+        return AggregateFn(
+            "min",
+            zero=lambda: math.inf,
+            add=lambda s, v: min(s, float(v)),
+            merge=min,
+            result=lambda s: s,
+        )
+    if name == "max":
+        return AggregateFn(
+            "max",
+            zero=lambda: -math.inf,
+            add=lambda s, v: max(s, float(v)),
+            merge=max,
+            result=lambda s: s,
+        )
+    if name == "mean":
+        # Partial state: (count, sum).
+        return AggregateFn(
+            "mean",
+            zero=lambda: (0, 0.0),
+            add=lambda s, v: (s[0] + 1, s[1] + float(v)),
+            merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            result=lambda s: s[1] / s[0] if s[0] else float("nan"),
+        )
+    if name == "var":
+        # Partial state: (count, sum, sum of squares) — population variance.
+        return AggregateFn(
+            "var",
+            zero=lambda: (0, 0.0, 0.0),
+            add=lambda s, v: (s[0] + 1, s[1] + float(v), s[2] + float(v) ** 2),
+            merge=lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
+            result=lambda s: (
+                s[2] / s[0] - (s[1] / s[0]) ** 2 if s[0] else float("nan")
+            ),
+        )
+    raise ValueError(f"unknown aggregate {name!r}")
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """Value payload of a partial-aggregate record shipped over the WAN."""
+
+    window: Window
+    key: str
+    state: Any
+    count: int
+
+
+class WindowedAggregator:
+    """Keyed, windowed aggregation producing mergeable partials.
+
+    Windows close on *watermark*: once the operator has seen (or been
+    told) event time past ``window.end + allowed_lateness``, the window's
+    partial records are emitted. Late records beyond lateness are counted
+    and dropped — the global aggregator must never block on a straggler
+    site's slow clock.
+    """
+
+    def __init__(
+        self,
+        windows,
+        aggregate: AggregateFn,
+        allowed_lateness: float = 0.0,
+        partial_record_bytes: float = 120.0,
+    ) -> None:
+        self.windows = windows
+        self.aggregate = aggregate
+        self.allowed_lateness = allowed_lateness
+        self.partial_record_bytes = partial_record_bytes
+        self._state: dict[tuple[Window, str], Any] = {}
+        self._counts: dict[tuple[Window, str], int] = {}
+        self.records_seen = 0
+        self.late_dropped = 0
+        self._watermark = -math.inf
+
+    def process(self, record: Record) -> list[Record]:
+        """Fold a record in; emits nothing (emission is watermark-driven)."""
+        self.records_seen += 1
+        if record.event_time + self.allowed_lateness < self._watermark:
+            self.late_dropped += 1
+            return []
+        for window in self.windows.assign(record.event_time):
+            slot = (window, record.key)
+            state = self._state.get(slot)
+            if state is None:
+                state = self.aggregate.zero()
+            self._state[slot] = self.aggregate.add(state, record.value)
+            self._counts[slot] = self._counts.get(slot, 0) + 1
+        return []
+
+    def advance_watermark(self, watermark: float) -> list[Record]:
+        """Close all windows ending before the watermark; emit partials."""
+        if watermark < self._watermark:
+            raise ValueError("watermark cannot move backwards")
+        self._watermark = watermark
+        out: list[Record] = []
+        closed = [
+            slot
+            for slot in self._state
+            if slot[0].end + self.allowed_lateness <= watermark
+        ]
+        for slot in sorted(closed, key=lambda s: (s[0], s[1])):
+            window, key = slot
+            state = self._state.pop(slot)
+            count = self._counts.pop(slot)
+            out.append(
+                Record(
+                    event_time=window.end,
+                    key=key,
+                    value=PartialAggregate(window, key, state, count),
+                    size_bytes=self.partial_record_bytes,
+                )
+            )
+        return out
+
+    @property
+    def open_windows(self) -> int:
+        return len({w for w, _ in self._state})

@@ -1,0 +1,347 @@
+"""The geo-streaming runtime: sites, shipping, global aggregation.
+
+Execution model per site, every tick (1 s of virtual time):
+
+1. drain the ingest backlog through the site's operator chain, limited by
+   the site's processing capacity (records/s × VMs) — overload therefore
+   turns into queueing latency, exactly like a real stream processor;
+2. advance the event-time watermark and close finished windows into
+   partial-aggregate records;
+3. offer partials to the site's batcher; cut batches travel to the
+   aggregation site through the configured shipping backend.
+
+The global aggregator merges partials per (window, key) and emits each
+result ``finalize_grace`` seconds after the first partial for its window
+arrived, recording end-to-end latency against the window's event-time
+close. Late partials are merged if the result has not been emitted yet,
+and counted otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.engine import SageEngine
+from repro.streaming.batching import Batcher
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.events import Batch, Record
+from repro.streaming.operators import PartialAggregate, WindowedAggregator
+from repro.streaming.windows import Window
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One emitted global aggregate."""
+
+    window: Window
+    key: str
+    value: object
+    record_count: int
+    sites: int
+    emitted_at: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: window close (event time) → global emission."""
+        return self.emitted_at - self.window.end
+
+
+@dataclass
+class LatencyStats:
+    """Summary of result latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_results(cls, results: list[WindowResult]) -> "LatencyStats":
+        if not results:
+            return cls(0, *[float("nan")] * 5)
+        lat = np.array([r.latency for r in results])
+        return cls(
+            count=len(lat),
+            mean=float(lat.mean()),
+            p50=float(np.percentile(lat, 50)),
+            p95=float(np.percentile(lat, 95)),
+            p99=float(np.percentile(lat, 99)),
+            max=float(lat.max()),
+        )
+
+
+class SiteRuntime:
+    """One producing site: ingest → operators → windows → batcher → ship."""
+
+    def __init__(
+        self,
+        engine: SageEngine,
+        job: StreamJob,
+        spec: SiteSpec,
+        shipping,
+        deliver: Callable[[Batch], None],
+        per_vm_records_per_s: float = 5000.0,
+        tick: float = 1.0,
+    ) -> None:
+        self.engine = engine
+        self.job = job
+        self.spec = spec
+        self.shipping = shipping
+        self.deliver = deliver
+        self.tick = tick
+        vms = engine.deployment.vms(spec.region)
+        if not vms:
+            raise ValueError(f"no VMs deployed in site region {spec.region}")
+        self.vms = vms[: spec.n_vms] if spec.n_vms else vms
+        self.capacity_per_tick = per_vm_records_per_s * len(self.vms) * tick
+        self.aggregator = WindowedAggregator(job.windows, job.aggregate)
+        self.batcher = Batcher(job.batch_policy_factory(), origin=spec.region)
+        self._backlog: deque[Record] = deque()
+        self._watermark = -float("inf")
+        self.records_ingested = 0
+        self.records_processed = 0
+        self.max_backlog = 0
+        self._task = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for source in self.spec.sources:
+            source.attach(self.engine.sim, self.spec.region, self.ingest)
+            source.start()
+        self._task = self.engine.sim.add_periodic(self.tick, self._on_tick)
+
+    def stop(self) -> None:
+        for source in self.spec.sources:
+            source.stop()
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def ingest(self, records: list[Record]) -> None:
+        self.records_ingested += len(records)
+        self._backlog.extend(records)
+        self.max_backlog = max(self.max_backlog, len(self._backlog))
+
+    # ------------------------------------------------------------------
+    def _on_tick(self) -> None:
+        now = self.engine.sim.now
+        budget = int(self.capacity_per_tick)
+        processed = 0
+        while self._backlog and processed < budget:
+            record = self._backlog.popleft()
+            processed += 1
+            self._process(record, now)
+        self.records_processed += processed
+        # The watermark follows the *processed* stream: under overload it
+        # is held back by the oldest unprocessed record, so backlog delay
+        # shows up as extra window latency (windows close later).
+        watermark = now - self.job.watermark_lag
+        if self._backlog:
+            watermark = min(watermark, self._backlog[0].event_time)
+        watermark = max(watermark, self._watermark)
+        self._watermark = watermark
+        for partial in self.aggregator.advance_watermark(watermark):
+            self._emit(partial, now)
+        out = self.batcher.maybe_flush(now)
+        if out is not None:
+            self._ship(out)
+
+    def _process(self, record: Record, now: float) -> None:
+        pending = [record]
+        for op in self.spec.operators:
+            nxt: list[Record] = []
+            for r in pending:
+                nxt.extend(op.process(r))
+            pending = nxt
+            if not pending:
+                return
+        for r in pending:
+            if self.job.ship_raw_records:
+                self._emit(r, now)
+            else:
+                self.aggregator.process(r)
+
+    def _emit(self, record: Record, now: float) -> None:
+        batch = self.batcher.offer(record, now)
+        if batch is not None:
+            self._ship(batch)
+
+    def _ship(self, batch: Batch) -> None:
+        self.shipping.ship(batch, self.deliver)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)
+
+
+class _PendingWindowKey:
+    __slots__ = ("state", "count", "sites", "emit_scheduled")
+
+    def __init__(self) -> None:
+        self.state = None
+        self.count = 0
+        self.sites: set[str] = set()
+        self.emit_scheduled = False
+
+
+class GlobalAggregator:
+    """Merges per-site partials into global window results."""
+
+    def __init__(self, engine: SageEngine, job: StreamJob) -> None:
+        self.engine = engine
+        self.job = job
+        self.results: list[WindowResult] = []
+        self.late_partials = 0
+        self.raw_records = 0
+        self._pending: dict[tuple[Window, str], _PendingWindowKey] = {}
+        self._emitted: set[tuple[Window, str]] = set()
+        #: Aggregator-side windowing for jobs that ship raw records.
+        self._raw_aggregator = WindowedAggregator(job.windows, job.aggregate)
+
+    def deliver(self, batch: Batch) -> None:
+        now = self.engine.sim.now
+        for record in batch.records:
+            value = record.value
+            if isinstance(value, PartialAggregate):
+                self._merge_partial(record, value, batch.origin, now)
+            else:
+                self.raw_records += 1
+                self._raw_aggregator.process(record)
+        if self.raw_records:
+            watermark = now - self.job.watermark_lag - self.job.finalize_grace
+            for partial in self._raw_aggregator.advance_watermark(watermark):
+                pa = partial.value
+                assert isinstance(pa, PartialAggregate)
+                self._finalize_now(pa.window, pa.key, pa.state, pa.count, 1, now)
+
+    def _merge_partial(
+        self, record: Record, pa: PartialAggregate, origin: str, now: float
+    ) -> None:
+        slot = (pa.window, pa.key)
+        if slot in self._emitted:
+            self.late_partials += 1
+            return
+        pending = self._pending.get(slot)
+        if pending is None:
+            pending = self._pending[slot] = _PendingWindowKey()
+        if pending.state is None:
+            pending.state = pa.state
+        else:
+            pending.state = self.job.aggregate.merge(pending.state, pa.state)
+        pending.count += pa.count
+        pending.sites.add(origin or "?")
+        if not pending.emit_scheduled:
+            pending.emit_scheduled = True
+            self.engine.sim.schedule(
+                self.job.finalize_grace, self._finalize, slot
+            )
+
+    def _finalize(self, slot: tuple[Window, str]) -> None:
+        pending = self._pending.pop(slot, None)
+        if pending is None or pending.state is None:  # pragma: no cover
+            return
+        window, key = slot
+        self._finalize_now(
+            window,
+            key,
+            pending.state,
+            pending.count,
+            len(pending.sites),
+            self.engine.sim.now,
+        )
+
+    def _finalize_now(self, window, key, state, count, sites, now) -> None:
+        self._emitted.add((window, key))
+        self.results.append(
+            WindowResult(
+                window=window,
+                key=key,
+                value=self.job.aggregate.result(state),
+                record_count=count,
+                sites=sites,
+                emitted_at=now,
+            )
+        )
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_results(self.results)
+
+
+class GeoStreamRuntime:
+    """Run a :class:`StreamJob` over a SageEngine deployment."""
+
+    def __init__(
+        self,
+        engine: SageEngine,
+        job: StreamJob,
+        shipping_factory,
+        per_vm_records_per_s: float = 5000.0,
+    ) -> None:
+        self.engine = engine
+        self.job = job
+        agg_vms = engine.deployment.vms(job.aggregation_region)
+        if not agg_vms:
+            raise ValueError(
+                f"no VMs in aggregation region {job.aggregation_region}"
+            )
+        self.agg_vm = agg_vms[0]
+        self.aggregator = GlobalAggregator(engine, job)
+        self.sites: dict[str, SiteRuntime] = {}
+        for spec in job.sites:
+            src_vms = engine.deployment.vms(spec.region)
+            backend = shipping_factory(engine, src_vms, self.agg_vm)
+            self.sites[spec.region] = SiteRuntime(
+                engine,
+                job,
+                spec,
+                backend,
+                self.aggregator.deliver,
+                per_vm_records_per_s=per_vm_records_per_s,
+            )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for site in self.sites.values():
+            site.start()
+
+    def stop(self) -> None:
+        for site in self.sites.values():
+            site.stop()
+
+    def run_for(self, duration: float) -> None:
+        """Convenience: start, run, stop, and let in-flight work land."""
+        self.start()
+        self.engine.run_until(self.engine.sim.now + duration)
+        self.stop()
+        # Allow shipped batches and grace timers to complete.
+        self.engine.run_until(
+            self.engine.sim.now + self.job.finalize_grace + 30.0
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> list[WindowResult]:
+        return self.aggregator.results
+
+    def latency_stats(self) -> LatencyStats:
+        return self.aggregator.latency_stats()
+
+    def wan_bytes(self) -> float:
+        return sum(site.shipping.bytes_shipped for site in self.sites.values())
+
+    def records_ingested(self) -> int:
+        return sum(site.records_ingested for site in self.sites.values())
+
+    def throughput(self, duration: float) -> float:
+        """Processed records per second of virtual time."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return (
+            sum(s.records_processed for s in self.sites.values()) / duration
+        )

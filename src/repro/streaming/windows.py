@@ -1,0 +1,59 @@
+"""Window assigners for event-time aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A half-open event-time interval [start, end)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("window end must be after start")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+class TumblingWindows:
+    """Fixed, non-overlapping windows of one length."""
+
+    def __init__(self, length: float) -> None:
+        if length <= 0:
+            raise ValueError("window length must be positive")
+        self.length = length
+
+    def assign(self, event_time: float) -> list[Window]:
+        start = (event_time // self.length) * self.length
+        return [Window(start, start + self.length)]
+
+
+class SlidingWindows:
+    """Overlapping windows: ``length`` long, sliding every ``slide``."""
+
+    def __init__(self, length: float, slide: float) -> None:
+        if length <= 0 or slide <= 0:
+            raise ValueError("length and slide must be positive")
+        if slide > length:
+            raise ValueError("slide must not exceed length (gaps would drop events)")
+        self.length = length
+        self.slide = slide
+
+    def assign(self, event_time: float) -> list[Window]:
+        windows: list[Window] = []
+        # Last window that starts at or before the event.
+        last_start = (event_time // self.slide) * self.slide
+        start = last_start
+        while start > event_time - self.length:
+            windows.append(Window(start, start + self.length))
+            start -= self.slide
+        return sorted(windows)

@@ -1,0 +1,159 @@
+"""Data fragmentation, hashing, deduplication and recomposition.
+
+Transfers ship data as fixed-size chunks extended with metadata: sequence
+number, byte range, and a content digest. The digest serves deduplication
+(identical chunks sent once) and integrity; the sequence number lets the
+destination recompose the payload although chunks may arrive in any order
+along different routes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """Metadata of one transfer chunk."""
+
+    seq: int
+    offset: float
+    size: float
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("seq must be non-negative")
+        if self.size <= 0:
+            raise ValueError("chunk size must be positive")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    @property
+    def end(self) -> float:
+        return self.offset + self.size
+
+
+def chunk_plan(total_size: float, chunk_size: float) -> list[Chunk]:
+    """Split ``total_size`` bytes into sequenced chunks of ``chunk_size``.
+
+    The final chunk carries the remainder. Chunk digests are left empty —
+    they describe *planned* fragments, not yet materialised content.
+    """
+    if total_size <= 0:
+        raise ValueError("total_size must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunks: list[Chunk] = []
+    offset = 0.0
+    seq = 0
+    while offset < total_size:
+        size = min(chunk_size, total_size - offset)
+        chunks.append(Chunk(seq, offset, size))
+        offset += size
+        seq += 1
+    return chunks
+
+
+def chunk_count(total_size: float, chunk_size: float) -> int:
+    """Number of chunks :func:`chunk_plan` would produce, in O(1)."""
+    if total_size <= 0:
+        raise ValueError("total_size must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return int(math.ceil(total_size / chunk_size))
+
+
+def content_digest(payload: bytes) -> str:
+    """Stable content digest used for deduplication (sha1, hex)."""
+    return hashlib.sha1(payload).hexdigest()
+
+
+class ChunkRegistry:
+    """Digest-indexed store supporting deduplication.
+
+    ``offer`` returns True when the chunk content is new (must be sent) and
+    False when an identical chunk was already registered (send only the
+    reference). Duplicate statistics feed the transfer metadata the agent
+    reports.
+    """
+
+    def __init__(self) -> None:
+        self._digests: set[str] = set()
+        self.offered = 0
+        self.duplicates = 0
+
+    def offer(self, digest: str) -> bool:
+        if not digest:
+            raise ValueError("cannot deduplicate an empty digest")
+        self.offered += 1
+        if digest in self._digests:
+            self.duplicates += 1
+            return False
+        self._digests.add(digest)
+        return True
+
+    @property
+    def unique(self) -> int:
+        return len(self._digests)
+
+    def dedup_ratio(self) -> float:
+        """Fraction of offered chunks that were duplicates."""
+        return self.duplicates / self.offered if self.offered else 0.0
+
+
+class Reassembler:
+    """Destination-side recomposition of out-of-order chunks.
+
+    Tracks which sequence numbers have arrived, rejects inconsistent
+    duplicates, and reports completion when every byte of the expected
+    payload is covered. Acknowledgement bookkeeping mirrors the
+    application-level ack design: one ack per chunk, so sender-side loss
+    recovery can resend precisely.
+    """
+
+    def __init__(self, chunks: list[Chunk]) -> None:
+        if not chunks:
+            raise ValueError("cannot reassemble an empty chunk list")
+        self.expected: dict[int, Chunk] = {c.seq: c for c in chunks}
+        if len(self.expected) != len(chunks):
+            raise ValueError("duplicate sequence numbers in chunk plan")
+        self.total_size = sum(c.size for c in chunks)
+        self.received: dict[int, Chunk] = {}
+        self.duplicate_arrivals = 0
+        self.acks_sent = 0
+
+    def deliver(self, chunk: Chunk) -> bool:
+        """Accept one arriving chunk; returns True if it was new."""
+        planned = self.expected.get(chunk.seq)
+        if planned is None:
+            raise ValueError(f"unexpected chunk seq {chunk.seq}")
+        if (chunk.offset, chunk.size) != (planned.offset, planned.size):
+            raise ValueError(
+                f"chunk {chunk.seq} does not match plan "
+                f"(got {chunk.offset}+{chunk.size}, "
+                f"want {planned.offset}+{planned.size})"
+            )
+        self.acks_sent += 1
+        if chunk.seq in self.received:
+            self.duplicate_arrivals += 1
+            return False
+        self.received[chunk.seq] = chunk
+        return True
+
+    @property
+    def bytes_received(self) -> float:
+        return sum(c.size for c in self.received.values())
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == len(self.expected)
+
+    def missing(self) -> list[int]:
+        """Sequence numbers not yet received (for selective resend)."""
+        return sorted(set(self.expected) - set(self.received))
+
+    def progress(self) -> float:
+        return self.bytes_received / self.total_size

@@ -1,0 +1,20 @@
+"""Workloads: synthetic sweeps and application-shaped scenarios."""
+
+from repro.workloads.abrain import ABrainConfig, ABrainWorkload
+from repro.workloads.clickstream import clickstream_job
+from repro.workloads.sensors import sensor_fusion_job
+from repro.workloads.synthetic import (
+    fresh_engine,
+    size_sweep,
+    standard_deployment,
+)
+
+__all__ = [
+    "ABrainConfig",
+    "ABrainWorkload",
+    "clickstream_job",
+    "sensor_fusion_job",
+    "fresh_engine",
+    "size_sweep",
+    "standard_deployment",
+]

@@ -1,0 +1,138 @@
+"""The A-Brain-shaped application workload.
+
+A-Brain joins genetic and neuro-imaging data: univariate association
+tests between ~10⁵ SNPs and ~10⁵ brain voxels, embarrassingly parallel
+over SNP blocks, too large for the quota of one datacenter. The deployed
+shape: a MapReduce stage per datacenter over its local subjects, per-site
+reducers emitting partial correlation files, and a Meta-Reducer in one
+site merging them into the global statistic.
+
+For the reproduction the map stage is *computed* (synthetic genotype and
+voxel matrices, real correlation math over numpy) but deliberately small,
+because the evaluated quantity is the wide-area shipping of the partial
+files — 1000 files per site whose size is set by the input configuration
+(36 KB for the small runs up to 40 MB for the 120 GB campaign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import SageEngine
+from repro.simulation.units import KB, MB
+from repro.streaming.metareduce import (
+    MapReduceSiteSpec,
+    MetaReduceReport,
+    MetaReducer,
+)
+
+
+@dataclass(frozen=True)
+class ABrainConfig:
+    """One input-size configuration of the application."""
+
+    name: str
+    #: Partial-result files produced per map site.
+    files_per_site: int = 1000
+    #: Size of each partial file in bytes.
+    file_size: float = 36 * KB
+    #: Map sites (the original runs on three datacenters).
+    map_regions: tuple[str, ...] = ("NEU", "WEU", "NUS")
+    #: Where the Meta-Reducer aggregates.
+    reducer_region: str = "NUS"
+    #: Site-local compute before partials start flowing (seconds).
+    map_compute_time: float = 30.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.files_per_site * self.file_size * len(self.map_regions)
+
+
+#: The three input configurations of the shipping experiment (E8):
+#: ~108 MB, ~3 GB and ~120 GB total.
+ABRAIN_CONFIGS: tuple[ABrainConfig, ...] = (
+    ABrainConfig("small-108MB", file_size=36 * KB),
+    ABrainConfig("medium-3GB", file_size=1 * MB),
+    ABrainConfig("large-120GB", file_size=40 * MB),
+)
+
+
+class ABrainWorkload:
+    """Generate per-site partials and run the shipping phase."""
+
+    def __init__(self, config: ABrainConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # The scientific kernel (used by the example and unit tests).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def correlation_block(
+        genotypes: np.ndarray, voxels: np.ndarray
+    ) -> np.ndarray:
+        """Univariate SNP × voxel association: Pearson correlations.
+
+        ``genotypes``: (subjects × snps), ``voxels``: (subjects × voxels).
+        Returns the (snps × voxels) correlation matrix — one map task's
+        partial result. Vectorised: standardise both matrices and take the
+        cross-product.
+        """
+        if genotypes.shape[0] != voxels.shape[0]:
+            raise ValueError("genotypes and voxels must share the subject axis")
+        n = genotypes.shape[0]
+        if n < 3:
+            raise ValueError("need at least 3 subjects")
+        g = genotypes - genotypes.mean(axis=0)
+        v = voxels - voxels.mean(axis=0)
+        g_std = g.std(axis=0)
+        v_std = v.std(axis=0)
+        g_std[g_std == 0] = 1.0
+        v_std[v_std == 0] = 1.0
+        return (g / g_std).T @ (v / v_std) / n
+
+    def synth_partial(
+        self, rng: np.random.Generator, snps: int = 32, voxels: int = 32,
+        subjects: int = 64,
+    ) -> np.ndarray:
+        """One synthetic map task: random cohort → correlation block."""
+        genotypes = rng.integers(0, 3, size=(subjects, snps)).astype(float)
+        signal = genotypes[:, :1] * 0.3
+        vox = rng.normal(size=(subjects, voxels)) + signal
+        return self.correlation_block(genotypes, vox)
+
+    # ------------------------------------------------------------------
+    # The shipping phase (what E8 measures).
+    # ------------------------------------------------------------------
+    def site_specs(self) -> list[MapReduceSiteSpec]:
+        cfg = self.config
+        rng = np.random.default_rng(self.seed)
+        specs = []
+        for region in cfg.map_regions:
+            # Mild size jitter: reduced partials differ a little per block.
+            sizes = cfg.file_size * rng.uniform(0.9, 1.1, cfg.files_per_site)
+            specs.append(
+                MapReduceSiteSpec(
+                    region=region,
+                    partial_files=[float(s) for s in sizes],
+                    compute_time=cfg.map_compute_time,
+                )
+            )
+        return specs
+
+    def run_shipping(
+        self,
+        engine: SageEngine,
+        shipping_factory,
+        files_in_flight_per_site: int = 4,
+    ) -> MetaReduceReport:
+        reducer = MetaReducer(
+            engine,
+            self.site_specs(),
+            self.config.reducer_region,
+            shipping_factory,
+            files_in_flight_per_site=files_in_flight_per_site,
+        )
+        return reducer.run()

@@ -1,0 +1,70 @@
+"""Global clickstream analytics.
+
+A service with users in Europe and the US ingests click events at the
+nearest datacenter and wants global per-page counts over short windows —
+the bursty, key-skewed counterpart to the smooth sensor workload. Bursts
+(campaigns, incidents) are modelled with Markov-modulated Poisson sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.units import KB
+from repro.streaming.batching import HybridBatchPolicy
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import FilterOperator, builtin_aggregate
+from repro.streaming.sources import MmppSource
+from repro.streaming.windows import TumblingWindows
+
+
+def zipf_pages(n_pages: int = 50) -> list[str]:
+    """Page-key universe (skew comes from key-draw, uniform here across
+    a truncated universe — heavy keys emerge from per-site burst states)."""
+    return [f"/page/{i:03d}" for i in range(n_pages)]
+
+
+def clickstream_job(
+    site_regions: list[str] | None = None,
+    aggregation_region: str = "WUS",
+    base_rate: float = 300.0,
+    burst_rate: float = 3000.0,
+    window: float = 10.0,
+    n_pages: int = 50,
+    bot_filter: bool = True,
+    batch_policy_factory=None,
+    ship_raw_records: bool = False,
+) -> StreamJob:
+    """Build the clickstream counting job."""
+    regions = site_regions or ["NEU", "EUS", "SUS"]
+    pages = zipf_pages(n_pages)
+    operators = []
+    if bot_filter:
+        # Crude bot heuristic: drop obviously automated bursts flagged by
+        # the edge (modelled as the value being negative).
+        operators.append(FilterOperator(lambda r: r.value >= -1.0))
+    sites = [
+        SiteSpec(
+            region=region,
+            sources=[
+                MmppSource(
+                    name=f"clicks-{region.lower()}",
+                    base_rate=base_rate,
+                    burst_rate=burst_rate,
+                    keys=pages,
+                )
+            ],
+            operators=list(operators),
+        )
+        for region in regions
+    ]
+    return StreamJob(
+        name="clickstream",
+        sites=sites,
+        aggregation_region=aggregation_region,
+        windows=TumblingWindows(window),
+        aggregate=builtin_aggregate("count"),
+        batch_policy_factory=batch_policy_factory
+        or (lambda: HybridBatchPolicy(128 * KB, 1.5)),
+        ship_raw_records=ship_raw_records,
+    )

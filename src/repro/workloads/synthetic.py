@@ -1,0 +1,65 @@
+"""Synthetic benchmark scaffolding.
+
+The experiments repeatedly need a fresh, warmed-up engine over a known
+deployment, with identical environment randomness across the strategies
+being compared. ``fresh_engine`` packages that: same seed → same link
+weather, different strategies run in *separate* simulations so they never
+perturb each other.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.decision import DecisionConfig
+from repro.core.engine import SageEngine
+from repro.monitor.agent import MonitorConfig
+from repro.simulation.units import GB, MB, MINUTE
+
+#: The default experiment deployment: a slice of the 120-node global
+#: system, spread over all six EU/US sites.
+STANDARD_SPEC: dict[str, int] = {
+    "NEU": 8,
+    "WEU": 6,
+    "NUS": 8,
+    "SUS": 6,
+    "EUS": 6,
+    "WUS": 6,
+}
+
+
+def standard_deployment() -> dict[str, int]:
+    return dict(STANDARD_SPEC)
+
+
+def fresh_engine(
+    seed: int,
+    spec: dict[str, int] | None = None,
+    vm_size: str = "Small",
+    learning_phase: float = 5 * MINUTE,
+    variability_sigma: float = 0.20,
+    glitches: bool = True,
+    monitor_config: MonitorConfig | None = None,
+    decision_config: DecisionConfig | None = None,
+) -> SageEngine:
+    """A new simulated cloud + warmed-up SAGE engine."""
+    env = CloudEnvironment(
+        seed=seed,
+        variability_sigma=variability_sigma,
+        glitches=glitches,
+    )
+    engine = SageEngine(
+        env,
+        deployment_spec=spec or standard_deployment(),
+        vm_size=vm_size,
+        monitor_config=monitor_config,
+        decision_config=decision_config,
+    )
+    engine.start(learning_phase=learning_phase)
+    return engine
+
+
+def size_sweep(small: bool = False) -> list[float]:
+    """Payload sizes used by the size-sweep experiments."""
+    if small:
+        return [64 * MB, 256 * MB, 1 * GB]
+    return [64 * MB, 256 * MB, 1 * GB, 4 * GB, 8 * GB]

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, fast simulated clouds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+
+
+@pytest.fixture
+def stable_env() -> CloudEnvironment:
+    """A cloud with variability switched off — deterministic link rates."""
+    return CloudEnvironment(
+        seed=1234,
+        variability_sigma=0.0,
+        diurnal_amplitude=0.0,
+        glitches=False,
+    )
+
+
+@pytest.fixture
+def noisy_env() -> CloudEnvironment:
+    """A cloud with the standard variability stack."""
+    return CloudEnvironment(seed=1234)
+
+
+@pytest.fixture
+def small_engine(noisy_env) -> SageEngine:
+    """Warmed-up engine over a 4-region deployment (noisy cloud)."""
+    engine = SageEngine(
+        noisy_env,
+        deployment_spec={"NEU": 4, "WEU": 3, "EUS": 3, "NUS": 4},
+    )
+    engine.start(learning_phase=120.0)
+    return engine
+
+
+@pytest.fixture
+def stable_engine(stable_env) -> SageEngine:
+    """Warmed-up engine over a 4-region deployment (stable cloud)."""
+    engine = SageEngine(
+        stable_env,
+        deployment_spec={"NEU": 4, "WEU": 3, "EUS": 3, "NUS": 4},
+    )
+    engine.start(learning_phase=120.0)
+    return engine

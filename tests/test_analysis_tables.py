@@ -1,0 +1,51 @@
+"""Unit tests for table rendering and experiment records."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord, ShapeCheck
+from repro.analysis.tables import format_row, render_table
+
+
+def test_format_row_floats_and_strings():
+    assert format_row([1.23456, "x", 7], precision=2) == ["1.23", "x", "7"]
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["name", "value"],
+        [["a", 1.0], ["long-name", 22.5]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    # All data rows have the same width.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="columns"):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_experiment_record_checks_and_verdict():
+    rec = ExperimentRecord("EX", "example", seed=1, parameters={"k": 2})
+    rec.check("always true", True, "detail")
+    assert rec.all_passed
+    rec.note("a note")
+    out = rec.render()
+    assert "[PASS] always true — detail" in out
+    assert "SHAPE OK" in out
+    assert "k=2" in out
+    rec.assert_shape()  # no raise
+
+    rec.check("fails", False)
+    assert not rec.all_passed
+    assert "SHAPE MISMATCH" in rec.render()
+    with pytest.raises(AssertionError, match="shape mismatch"):
+        rec.assert_shape()
+
+
+def test_shape_check_render():
+    assert ShapeCheck("c", True).render() == "  [PASS] c"
+    assert ShapeCheck("c", False, "why").render() == "  [FAIL] c — why"

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size, parse_spec
+from repro.simulation.units import GB, KB, MB
+
+
+# ----------------------------------------------------------------------
+# Parsing helpers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1024", 1024.0),
+        ("500MB", 500 * MB),
+        ("2.5GB", 2.5 * GB),
+        ("16kb", 16 * KB),
+        (" 1 GB ", GB),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "GB", "12XB", "two GB"])
+def test_parse_size_rejects(bad):
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_size(bad)
+
+
+def test_parse_spec():
+    assert parse_spec("NEU:5,nus:3") == {"NEU": 5, "NUS": 3}
+    assert sum(parse_spec(None).values()) == 40  # standard deployment
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_spec("NEU=5")
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# Commands (small deployments, short learning, to stay fast)
+# ----------------------------------------------------------------------
+FAST = ["--seed", "5", "--deploy", "NEU:3,NUS:3,WEU:2", "--learning", "120"]
+
+
+def test_cmd_map(capsys):
+    assert main(FAST + ["map"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput map" in out
+    assert "NEU" in out and "NUS" in out
+
+
+def test_cmd_transfer(capsys):
+    assert main(FAST + ["transfer", "NEU", "NUS", "200MB", "--nodes", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "transferred 200.00 MB" in out
+    assert "schema:" in out
+
+
+def test_cmd_transfer_with_budget(capsys):
+    assert main(FAST + ["transfer", "NEU", "NUS", "200MB", "--budget", "0.1"]) == 0
+    assert "egress $" in capsys.readouterr().out
+
+
+def test_cmd_plan(capsys):
+    assert main(FAST + ["plan", "NEU", "NUS", "1GB", "--max-nodes", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "knee" in out
+    assert "pareto" in out
+
+
+def test_cmd_disseminate(capsys):
+    assert main(FAST + ["disseminate", "NEU", "NUS,WEU", "100MB"]) == 0
+    out = capsys.readouterr().out
+    assert "tree:" in out
+    assert "makespan" in out
+
+
+def test_cmd_introspect(capsys):
+    assert main(FAST + ["introspect", "--hours", "0.5"]) == 0
+    assert "Introspection-as-a-Service" in capsys.readouterr().out
+
+
+def test_cmd_stream(capsys):
+    assert main(FAST + ["stream", "--workload", "sensors", "--duration", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "ingested" in out
+    assert "latency p50" in out

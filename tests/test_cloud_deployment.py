@@ -1,0 +1,70 @@
+"""Unit tests for provisioning, leases and the environment facade."""
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment, Deployment
+from repro.simulation.units import HOUR
+
+
+@pytest.fixture
+def env():
+    return CloudEnvironment(seed=9, variability_sigma=0.0, glitches=False)
+
+
+def test_provision_adds_to_deployment(env):
+    vms = env.provision("NEU", "Small", 3)
+    assert len(vms) == 3
+    assert env.deployment.vms("NEU") == vms
+    assert env.deployment.size() == 3
+    assert env.deployment.regions() == ["NEU"]
+
+
+def test_provision_validates(env):
+    with pytest.raises(KeyError):
+        env.provision("XYZ", "Small")
+    with pytest.raises(ValueError):
+        env.provision("NEU", "Small", 0)
+
+
+def test_vm_ids_unique(env):
+    vms = env.provision("NEU", "Small", 5) + env.provision("NUS", "Medium", 5)
+    assert len({vm.vm_id for vm in vms}) == 10
+
+
+def test_release_bills_elapsed_time(env):
+    vm = env.provision("NEU", "Small")[0]
+    env.sim.run_until(2 * HOUR)
+    usd = env.release(vm)
+    assert usd == pytest.approx(0.06 * 2)
+    assert env.deployment.size() == 0
+    with pytest.raises(KeyError):
+        env.release(vm)
+
+
+def test_finalize_bills_all_leases(env):
+    env.provision("NEU", "Small", 2)
+    env.provision("NUS", "Medium", 1)
+    env.sim.run_until(HOUR)
+    env.finalize()
+    assert env.meter.vm_usd == pytest.approx(0.06 * 2 + 0.12)
+    assert env.leased_vms() == []
+
+
+def test_custom_deployment_object(env):
+    dep = Deployment("extra")
+    env.provision("WEU", "Small", 2, deployment=dep)
+    assert dep.size() == 2
+    assert env.deployment.size() == 0
+    env.release(dep.vms()[0], deployment=dep)
+    assert dep.size() == 1
+
+
+def test_deployment_repr_and_vms():
+    dep = Deployment("x")
+    assert dep.vms() == []
+    assert dep.vms("NEU") == []
+
+
+def test_blob_store_per_region(env):
+    assert set(env.blobs) == {"NEU", "WEU", "NUS", "SUS", "EUS", "WUS"}
+    assert env.blob("NEU").region_code == "NEU"

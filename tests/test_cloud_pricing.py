@@ -1,0 +1,115 @@
+"""Unit + property tests for pricing and cost metering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.pricing import CostMeter, EgressTier, PriceBook
+from repro.simulation.units import GB, HOUR
+
+
+@pytest.fixture
+def prices():
+    return PriceBook()
+
+
+def test_first_tier_rate(prices):
+    assert prices.egress_cost(1 * GB) == pytest.approx(0.12)
+
+
+def test_ingress_free(prices):
+    assert prices.ingress_usd_per_gb == 0.0
+
+
+def test_tier_boundary_crossing():
+    prices = PriceBook(
+        egress_tiers=(
+            EgressTier(10 * GB, 1.0),
+            EgressTier(float("inf"), 0.5),
+        )
+    )
+    # 15 GB: 10 at $1 + 5 at $0.5
+    assert prices.egress_cost(15 * GB) == pytest.approx(12.5)
+    # Starting already 8 GB in: 2 at $1 + 3 at $0.5
+    assert prices.egress_cost(5 * GB, already_used=8 * GB) == pytest.approx(3.5)
+
+
+def test_marginal_rate_reflects_usage():
+    prices = PriceBook(
+        egress_tiers=(
+            EgressTier(10 * GB, 1.0),
+            EgressTier(float("inf"), 0.5),
+        )
+    )
+    assert prices.marginal_egress_usd_per_gb(0.0) == 1.0
+    assert prices.marginal_egress_usd_per_gb(20 * GB) == 0.5
+
+
+def test_meter_vm_linear_vs_billed():
+    linear = CostMeter(billed=False)
+    billed = CostMeter(billed=True)
+    linear.charge_vm_time(0.06, 90.0)
+    billed.charge_vm_time(0.06, 90.0)  # rounds up to a full hour
+    assert linear.vm_usd == pytest.approx(0.06 * 90 / HOUR)
+    assert billed.vm_usd == pytest.approx(0.06)
+
+
+def test_meter_vm_rejects_negative():
+    with pytest.raises(ValueError):
+        CostMeter().charge_vm_time(0.06, -1.0)
+
+
+def test_meter_egress_accumulates_tiers():
+    meter = CostMeter(
+        PriceBook(
+            egress_tiers=(
+                EgressTier(1 * GB, 1.0),
+                EgressTier(float("inf"), 0.1),
+            )
+        )
+    )
+    meter.charge_egress(0.5 * GB)
+    meter.charge_egress(1.0 * GB)  # crosses the boundary
+    assert meter.egress_usd == pytest.approx(0.5 + 0.5 + 0.05)
+    assert meter.egress_bytes == pytest.approx(1.5 * GB)
+
+
+def test_meter_transactions_and_storage():
+    meter = CostMeter()
+    meter.charge_transactions(200_000)
+    assert meter.storage_usd == pytest.approx(0.02)
+    month = 30 * 24 * HOUR
+    meter.charge_storage_capacity(10 * GB, month)
+    assert meter.storage_usd == pytest.approx(0.02 + 0.95)
+
+
+def test_snapshot_diff():
+    meter = CostMeter()
+    meter.charge_egress(1 * GB)
+    before = meter.snapshot()
+    meter.charge_egress(1 * GB)
+    meter.charge_vm_time(0.06, HOUR)
+    delta = meter.snapshot() - before
+    assert delta.egress_bytes == pytest.approx(1 * GB)
+    assert delta.vm_usd == pytest.approx(0.06)
+    assert delta.total_usd == pytest.approx(0.06 + 0.12)
+
+
+@given(st.floats(min_value=0, max_value=1e15), st.floats(min_value=0, max_value=1e15))
+@settings(max_examples=100, deadline=None)
+def test_property_egress_additivity(a, b):
+    """Charging a then b equals charging a+b (tier accounting is exact)."""
+    prices = PriceBook()
+    split = CostMeter(prices)
+    split.charge_egress(a)
+    split.charge_egress(b)
+    whole = CostMeter(prices)
+    whole.charge_egress(a + b)
+    assert split.egress_usd == pytest.approx(whole.egress_usd, rel=1e-9, abs=1e-9)
+
+
+@given(st.floats(min_value=1, max_value=1e14))
+@settings(max_examples=60, deadline=None)
+def test_property_egress_monotone(x):
+    prices = PriceBook()
+    assert prices.egress_cost(x) <= prices.egress_cost(x * 1.5) + 1e-12

@@ -1,0 +1,100 @@
+"""Unit tests for the blob storage model."""
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.simulation.units import MB
+
+
+@pytest.fixture
+def env():
+    return CloudEnvironment(
+        seed=5, variability_sigma=0.0, diurnal_amplitude=0.0, glitches=False
+    )
+
+
+def put_blocking(env, store, client, name, size):
+    done = []
+    store.put(client, name, size, on_done=lambda obj: done.append(env.now))
+    env.sim.run_until(env.now + 10_000)
+    assert done
+    return done[0]
+
+
+def get_blocking(env, store, client, name):
+    done = []
+    store.get(client, name, on_done=lambda obj: done.append(env.now))
+    env.sim.run_until(env.now + 10_000)
+    assert done
+    return done[0]
+
+
+def test_put_then_get_roundtrip(env):
+    vm = env.provision("NEU", "Small")[0]
+    store = env.blob("NEU")
+    put_blocking(env, store, vm, "obj", 10 * MB)
+    assert store.exists("obj")
+    get_blocking(env, store, vm, "obj")
+    assert store.puts == 1 and store.gets == 1
+
+
+def test_get_missing_object_raises(env):
+    vm = env.provision("NEU", "Small")[0]
+    with pytest.raises(KeyError, match="no object"):
+        env.blob("NEU").get(vm, "missing")
+
+
+def test_put_rejects_empty(env):
+    vm = env.provision("NEU", "Small")[0]
+    with pytest.raises(ValueError):
+        env.blob("NEU").put(vm, "x", 0.0)
+
+
+def test_per_op_rate_cap_binds(env):
+    # A Large VM's NIC (50 MB/s) exceeds the per-op cap, so the cap binds.
+    vm = env.provision("NEU", "Large")[0]
+    store = env.blob("NEU")
+    t0 = env.now
+    t = put_blocking(env, store, vm, "big", 60 * MB)
+    achieved = 60 * MB / (t - t0)
+    assert achieved <= store.per_op_rate_cap * 1.01
+    assert achieved == pytest.approx(store.per_op_rate_cap, rel=0.05)
+
+
+def test_remote_put_slower_than_local(env):
+    vm = env.provision("NEU", "Small")[0]
+    local = put_blocking(env, env.blob("NEU"), vm, "l", 20 * MB) - 0.0
+    start = env.now
+    remote = put_blocking(env, env.blob("NUS"), vm, "r", 20 * MB) - start
+    assert remote > local
+
+
+def test_transactions_and_egress_charged(env):
+    vm = env.provision("NEU", "Small")[0]
+    store = env.blob("NUS")  # remote store: PUT pays egress
+    before = env.meter.snapshot()
+    put_blocking(env, store, vm, "o", 10 * MB)
+    spent = env.meter.snapshot() - before
+    assert spent.transactions == 1
+    assert spent.egress_usd > 0
+
+
+def test_local_put_no_egress(env):
+    vm = env.provision("NEU", "Small")[0]
+    before = env.meter.snapshot()
+    put_blocking(env, env.blob("NEU"), vm, "o", 10 * MB)
+    spent = env.meter.snapshot() - before
+    assert spent.egress_usd == 0.0
+    assert spent.transactions == 1
+
+
+def test_delete_and_capacity_charges(env):
+    vm = env.provision("NEU", "Small")[0]
+    store = env.blob("NEU")
+    put_blocking(env, store, vm, "o", 100 * MB)
+    before = env.meter.snapshot()
+    store.charge_capacity(3600.0)
+    assert env.meter.snapshot().storage_usd > before.storage_usd
+    store.delete("o")
+    assert not store.exists("o")
+    store.delete("o")  # idempotent

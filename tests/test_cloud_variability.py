@@ -1,0 +1,123 @@
+"""Unit + statistical tests for variability processes."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.variability import (
+    Ar1LognormalProcess,
+    CompositeProcess,
+    ConstantProcess,
+    DiurnalProcess,
+    GlitchProcess,
+    default_wan_process,
+)
+from repro.simulation.units import DAY, HOUR, MINUTE
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_constant_process():
+    assert ConstantProcess(1.3).factor(999.0) == 1.3
+    with pytest.raises(ValueError):
+        ConstantProcess(0.0)
+
+
+def test_ar1_stationary_statistics():
+    proc = Ar1LognormalProcess(_rng(1), sigma=0.2, phi=0.9, epoch=60.0)
+    samples = np.array([proc.factor(i * 60.0) for i in range(20_000)])
+    logs = np.log(samples)
+    assert abs(logs.mean()) < 0.02
+    assert logs.std() == pytest.approx(0.2, rel=0.15)
+
+
+def test_ar1_is_correlated_in_time():
+    proc = Ar1LognormalProcess(_rng(2), sigma=0.2, phi=0.95, epoch=60.0)
+    xs = np.log([proc.factor(i * 60.0) for i in range(5000)])
+    lag1 = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+    assert lag1 > 0.8  # strongly autocorrelated, unlike white noise
+
+
+def test_ar1_constant_within_epoch():
+    proc = Ar1LognormalProcess(_rng(3), sigma=0.3, epoch=60.0)
+    assert proc.factor(10.0) == proc.factor(59.0)
+    # A new epoch may change the factor; queries stay monotone in time.
+    _ = proc.factor(61.0)
+    assert proc.factor(119.0) == proc.factor(61.0)
+
+
+def test_ar1_rejects_backwards_time():
+    proc = Ar1LognormalProcess(_rng(4), epoch=60.0)
+    proc.factor(600.0)
+    with pytest.raises(ValueError, match="backwards"):
+        proc.factor(0.0)
+
+
+def test_ar1_zero_sigma_is_flat():
+    proc = Ar1LognormalProcess(_rng(5), sigma=0.0)
+    assert proc.factor(0.0) == pytest.approx(1.0)
+    assert proc.factor(1e6) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("bad_kwargs", [
+    {"phi": 1.0},
+    {"phi": -0.1},
+    {"sigma": -0.2},
+    {"epoch": 0.0},
+])
+def test_ar1_validates_parameters(bad_kwargs):
+    with pytest.raises(ValueError):
+        Ar1LognormalProcess(_rng(0), **bad_kwargs)
+
+
+def test_diurnal_deepest_at_peak_hour():
+    proc = DiurnalProcess(amplitude=0.2, peak_hour=14.0)
+    peak = proc.factor(14 * HOUR)
+    off_peak = proc.factor(2 * HOUR)
+    assert peak == pytest.approx(0.8, abs=1e-6)
+    assert off_peak > peak
+    # 12 hours from the peak is the fastest time of day.
+    assert proc.factor(2 * HOUR) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_diurnal_period_is_daily():
+    proc = DiurnalProcess(amplitude=0.15)
+    assert proc.factor(5 * HOUR) == pytest.approx(proc.factor(5 * HOUR + DAY))
+
+
+def test_glitch_rare_and_deep():
+    proc = GlitchProcess(
+        _rng(6), mean_interarrival=HOUR, mean_duration=2 * MINUTE, depth=0.3
+    )
+    samples = np.array([proc.factor(i * 10.0) for i in range(50_000)])
+    frac_glitched = (samples < 1.0).mean()
+    assert 0.005 < frac_glitched < 0.15
+    assert set(np.unique(samples)) <= {0.3, 1.0}
+
+
+def test_glitch_in_glitch_flag():
+    proc = GlitchProcess(_rng(7), mean_interarrival=100.0, mean_duration=50.0)
+    flags = [proc.in_glitch(t) for t in np.arange(0, 5000, 5.0)]
+    assert any(flags) and not all(flags)
+
+
+def test_composite_clips():
+    lo_proc = ConstantProcess(0.001)
+    comp = CompositeProcess([lo_proc], lo=0.05, hi=1.6)
+    assert comp.factor(0.0) == 0.05
+    hi_proc = ConstantProcess(10.0)
+    assert CompositeProcess([hi_proc]).factor(0.0) == 1.6
+
+
+def test_composite_multiplies():
+    comp = CompositeProcess([ConstantProcess(0.8), ConstantProcess(0.9)])
+    assert comp.factor(0.0) == pytest.approx(0.72)
+
+
+def test_default_wan_process_statistics():
+    proc = default_wan_process(_rng(8), sigma=0.2)
+    samples = np.array([proc.factor(i * 60.0) for i in range(10_000)])
+    assert 0.1 < samples.std() / samples.mean() < 0.5
+    assert samples.min() >= 0.05
+    assert samples.max() <= 1.6

@@ -1,0 +1,48 @@
+"""Unit tests for the VM catalog."""
+
+import pytest
+
+from repro.cloud.vm import VM, VM_SIZES
+from repro.simulation.units import MBPS
+
+
+def test_catalog_sizes():
+    assert set(VM_SIZES) == {"Small", "Medium", "Large", "ExtraLarge"}
+    assert VM_SIZES["Small"].nic_mbps == pytest.approx(100)
+    assert VM_SIZES["ExtraLarge"].nic_mbps == pytest.approx(800)
+
+
+def test_prices_scale_with_size():
+    assert (
+        VM_SIZES["Small"].usd_per_hour
+        < VM_SIZES["Medium"].usd_per_hour
+        < VM_SIZES["Large"].usd_per_hour
+        < VM_SIZES["ExtraLarge"].usd_per_hour
+    )
+
+
+def test_vm_capacity_tracks_health():
+    vm = VM("vm-1", "NEU", VM_SIZES["Small"])
+    nominal = vm.uplink_capacity
+    assert nominal == pytest.approx(100 * MBPS)
+    vm.degrade(0.4)
+    assert vm.uplink_capacity == pytest.approx(0.4 * nominal)
+    assert vm.downlink_capacity == pytest.approx(0.4 * nominal)
+    vm.restore()
+    assert vm.uplink_capacity == pytest.approx(nominal)
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+def test_degrade_rejects_bad_health(bad):
+    vm = VM("vm-1", "NEU", VM_SIZES["Small"])
+    with pytest.raises(ValueError):
+        vm.degrade(bad)
+
+
+def test_vm_identity_by_id():
+    a = VM("same", "NEU", VM_SIZES["Small"])
+    b = VM("same", "NUS", VM_SIZES["Medium"])
+    c = VM("other", "NEU", VM_SIZES["Small"])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c

@@ -1,0 +1,78 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.cloud.pricing import PriceBook
+from repro.cloud.vm import VM_SIZES
+from repro.core.cost import CostModel
+from repro.simulation.units import GB, HOUR
+
+
+@pytest.fixture
+def model():
+    return CostModel(PriceBook())
+
+
+def test_egress_dominates_for_few_nodes(model):
+    cb = model.estimate(1 * GB, 60.0, 1)
+    assert cb.egress_usd == pytest.approx(0.12)
+    assert cb.egress_usd > cb.vm_cpu_usd + cb.vm_bandwidth_usd
+
+
+def test_vm_time_term_scales_with_nodes_and_time(model):
+    base = model.estimate(1 * GB, 100.0, 1)
+    more_nodes = model.estimate(1 * GB, 100.0, 4)
+    vm_base = base.vm_cpu_usd + base.vm_bandwidth_usd
+    vm_more = more_nodes.vm_cpu_usd + more_nodes.vm_bandwidth_usd
+    assert vm_more == pytest.approx(4 * vm_base)
+    longer = model.estimate(1 * GB, 200.0, 1)
+    assert longer.vm_cpu_usd == pytest.approx(2 * base.vm_cpu_usd)
+
+
+def test_intrusiveness_scales_vm_cost(model):
+    full = model.estimate(1 * GB, 100.0, 2, intrusiveness=1.0)
+    tenth = model.estimate(1 * GB, 100.0, 2, intrusiveness=0.1)
+    assert tenth.vm_cpu_usd == pytest.approx(0.1 * full.vm_cpu_usd)
+    assert tenth.egress_usd == full.egress_usd  # egress is unaffected
+
+
+def test_relay_paths_multiply_egress(model):
+    one = model.estimate(1 * GB, 60.0, 1, wan_hops=1)
+    two = model.estimate(1 * GB, 60.0, 1, wan_hops=2)
+    assert two.egress_usd == pytest.approx(2 * one.egress_usd)
+
+
+def test_exact_vm_hour(model):
+    cb = model.estimate(1 * GB, HOUR, 1, intrusiveness=1.0)
+    assert cb.vm_cpu_usd + cb.vm_bandwidth_usd == pytest.approx(
+        VM_SIZES["Small"].usd_per_hour
+    )
+
+
+def test_breakdown_total_and_str(model):
+    cb = model.estimate(1 * GB, 60.0, 3)
+    assert cb.total_usd == pytest.approx(
+        cb.vm_cpu_usd + cb.vm_bandwidth_usd + cb.egress_usd
+    )
+    s = str(cb)
+    assert "egress" in s and "n=3" in s
+
+
+def test_vm_usd_per_second(model):
+    assert model.vm_usd_per_second(1.0) == pytest.approx(0.06 / HOUR)
+    assert model.vm_usd_per_second(0.5) == pytest.approx(0.03 / HOUR)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(size=0.0, predicted_time=1.0, n_nodes=1),
+        dict(size=1.0, predicted_time=0.0, n_nodes=1),
+        dict(size=1.0, predicted_time=1.0, n_nodes=0),
+        dict(size=1.0, predicted_time=1.0, n_nodes=1, intrusiveness=0.0),
+        dict(size=1.0, predicted_time=1.0, n_nodes=1, wan_hops=0),
+    ],
+)
+def test_validation(model, kwargs):
+    with pytest.raises(ValueError):
+        model.estimate(**kwargs)

@@ -1,0 +1,113 @@
+"""Tests for multicast dissemination planning and execution."""
+
+import pytest
+
+from repro.core.dissemination import (
+    Disseminator,
+    TreeEdge,
+    plan_dissemination,
+)
+from repro.simulation.units import MB
+from repro.workloads.synthetic import fresh_engine
+
+
+GRAPH = {
+    ("A", "B"): 10.0,
+    ("A", "C"): 2.0,
+    ("B", "C"): 9.0,
+    ("B", "D"): 8.0,
+    ("C", "D"): 1.0,
+}
+
+
+def test_plan_uses_widest_attachment():
+    plan = plan_dissemination(GRAPH, "A", ["B", "C", "D"])
+    assert TreeEdge("A", "B", 10.0) in plan.edges
+    # C is better served from B (9.0) than from A (2.0).
+    assert TreeEdge("B", "C", 9.0) in plan.edges
+    assert TreeEdge("B", "D", 8.0) in plan.edges
+    assert plan.depth() == 2
+
+
+def test_plan_unmonitored_destination_falls_back_to_source():
+    plan = plan_dissemination({("A", "B"): 5.0}, "A", ["B", "Z"])
+    blind = [e for e in plan.edges if e.dst == "Z"]
+    assert blind == [TreeEdge("A", "Z", 0.0)]
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError, match="own destination"):
+        plan_dissemination(GRAPH, "A", ["A", "B"])
+    with pytest.raises(ValueError, match="duplicate"):
+        plan_dissemination(GRAPH, "A", ["B", "B"])
+
+
+def test_plan_children_and_describe():
+    plan = plan_dissemination(GRAPH, "A", ["B", "C"])
+    assert [e.dst for e in plan.children("A")] == ["B"]
+    assert "A->B" in plan.describe()
+
+
+@pytest.fixture
+def engine():
+    return fresh_engine(
+        seed=95,
+        spec={"NEU": 4, "WEU": 3, "EUS": 3, "NUS": 4, "SUS": 3, "WUS": 3},
+        learning_phase=240.0,
+        variability_sigma=0.0,
+        glitches=False,
+    )
+
+
+def test_disseminator_reaches_every_destination(engine):
+    diss = Disseminator(engine, n_nodes_per_edge=2)
+    destinations = ["WEU", "EUS", "NUS", "SUS", "WUS"]
+    plan = diss.plan("NEU", destinations)
+    report = diss.run(100 * MB, plan)
+    assert set(report.completion_times) == set(destinations)
+    assert report.makespan > 0
+    assert all(report.arrival(d) > 0 for d in destinations)
+
+
+def test_store_and_forward_orders_tree_levels(engine):
+    """Without pipelining, a site finishes strictly before its children."""
+    diss = Disseminator(engine, n_nodes_per_edge=2, pipeline_threshold=1.0)
+    destinations = ["WEU", "EUS", "NUS", "SUS", "WUS"]
+    plan = diss.plan("NEU", destinations)
+    report = diss.run(100 * MB, plan)
+    for edge in plan.edges:
+        if edge.src != "NEU":
+            assert report.arrival(edge.src) < report.arrival(edge.dst)
+
+
+def _constrained_engine():
+    # A small source site: its three NICs are the scarce resource, which
+    # is exactly when forwarding through served sites pays off.
+    return fresh_engine(
+        seed=95,
+        spec={"NEU": 3, "WEU": 3, "EUS": 3, "NUS": 3, "SUS": 3, "WUS": 3},
+        learning_phase=240.0,
+        variability_sigma=0.0,
+        glitches=False,
+    )
+
+
+def test_tree_beats_unicast_star_when_source_bound():
+    destinations = ["WEU", "EUS", "NUS", "SUS", "WUS"]
+    e_star = _constrained_engine()
+    star = Disseminator(e_star, n_nodes_per_edge=3).run(
+        500 * MB, Disseminator(e_star, 3).unicast_plan("NEU", destinations)
+    )
+    e_tree = _constrained_engine()
+    diss = Disseminator(e_tree, n_nodes_per_edge=3)
+    tree = diss.run(500 * MB, diss.plan("NEU", destinations))
+    assert tree.makespan < star.makespan
+
+
+def test_disseminator_validation(engine):
+    diss = Disseminator(engine)
+    with pytest.raises(ValueError):
+        Disseminator(engine, n_nodes_per_edge=0)
+    plan = diss.plan("NEU", ["NUS"])
+    with pytest.raises(ValueError):
+        diss.run(0.0, plan)

@@ -1,0 +1,51 @@
+"""Tests for the SageStrategy adapter (the common strategy contract)."""
+
+import pytest
+
+from repro.core.strategy import SageStrategy
+from repro.simulation.units import GB, MB
+from repro.workloads.synthetic import fresh_engine
+
+
+@pytest.fixture
+def engine():
+    return fresh_engine(
+        seed=91,
+        spec={"NEU": 6, "WEU": 3, "EUS": 3, "NUS": 6},
+        learning_phase=180.0,
+        variability_sigma=0.0,
+        glitches=False,
+    )
+
+
+def test_strategy_runs_and_reports(engine):
+    r = SageStrategy(n_nodes=4).run(engine, "NEU", "NUS", 256 * MB)
+    assert r.label == "GEO-SAGE"
+    assert r.seconds > 0
+    assert r.egress_usd > 0
+    assert r.vm_seconds_busy > 0
+
+
+def test_strategy_budget_mode(engine):
+    r = SageStrategy(budget_usd=0.2).run(engine, "NEU", "NUS", 1 * GB)
+    assert r.egress_usd <= 0.2
+
+
+def test_strategy_deadline_mode(engine):
+    r = SageStrategy(deadline_s=300.0).run(engine, "NEU", "NUS", 512 * MB)
+    assert r.seconds <= 300.0 * 1.25
+
+
+def test_strategy_intrusiveness(engine):
+    slow = SageStrategy(n_nodes=2, intrusiveness=0.1, adaptive=False).run(
+        engine, "NEU", "NUS", 128 * MB
+    )
+    fast = SageStrategy(n_nodes=2, intrusiveness=1.0, adaptive=False).run(
+        engine, "NEU", "NUS", 128 * MB
+    )
+    assert slow.seconds > 2 * fast.seconds
+
+
+def test_strategy_non_adaptive_runs_single_session(engine):
+    r = SageStrategy(n_nodes=3, adaptive=False).run(engine, "NEU", "NUS", 256 * MB)
+    assert r.seconds > 0

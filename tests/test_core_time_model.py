@@ -1,0 +1,98 @@
+"""Unit + property tests for the transfer-time model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.time_model import TransferTimeModel
+from repro.simulation.units import GB, MB
+
+
+def test_single_node_is_size_over_throughput():
+    m = TransferTimeModel(gain=0.5)
+    assert m.estimate(100 * MB, 10 * MB, 1) == pytest.approx(10.0)
+
+
+def test_speedup_formula():
+    m = TransferTimeModel(gain=0.5)
+    assert m.speedup(1) == 1.0
+    assert m.speedup(3) == 2.0
+    assert m.estimate(100 * MB, 10 * MB, 3) == pytest.approx(5.0)
+
+
+def test_more_nodes_never_slower():
+    m = TransferTimeModel(gain=0.3)
+    times = [m.estimate(1 * GB, 5 * MB, n) for n in range(1, 20)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_diminishing_marginal_gain():
+    m = TransferTimeModel(gain=0.5)
+    t = [m.estimate(1 * GB, 5 * MB, n) for n in range(1, 10)]
+    marginal = [t[i] - t[i + 1] for i in range(len(t) - 1)]
+    assert all(marginal[i] >= marginal[i + 1] for i in range(len(marginal) - 1))
+
+
+def test_nodes_for_deadline():
+    m = TransferTimeModel(gain=0.5)
+    # 1 node: 100 s; need <= 30 s → speedup >= 3.33 → n >= 5.67 → 6 nodes.
+    assert m.nodes_for_deadline(1000 * MB, 10 * MB, 30.0) == 6
+    assert m.nodes_for_deadline(1000 * MB, 10 * MB, 200.0) == 1
+    assert m.nodes_for_deadline(1000 * MB, 10 * MB, 0.1, max_nodes=8) is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TransferTimeModel(gain=0.0)
+    with pytest.raises(ValueError):
+        TransferTimeModel(gain=1.0)
+    m = TransferTimeModel()
+    with pytest.raises(ValueError):
+        m.estimate(0.0, 1.0)
+    with pytest.raises(ValueError):
+        m.estimate(1.0, 0.0)
+    with pytest.raises(ValueError):
+        m.speedup(0)
+    with pytest.raises(ValueError):
+        m.nodes_for_deadline(1.0, 1.0, 0.0)
+
+
+def test_calibration_recovers_true_gain():
+    true = TransferTimeModel(gain=0.4)
+    base = 5 * MB
+    obs = [(n, true.effective_throughput(base, n)) for n in range(2, 9)]
+    fitted = TransferTimeModel(gain=0.9)
+    fitted.calibrate(obs, base)
+    assert fitted.gain == pytest.approx(0.4, abs=0.01)
+
+
+def test_calibration_ignores_uninformative_points():
+    m = TransferTimeModel(gain=0.65)
+    assert m.calibrate([(1, 5 * MB)], 5 * MB) == 0.65  # n=1 says nothing
+    assert m.calibrate([], 5 * MB) == 0.65
+    with pytest.raises(ValueError):
+        m.calibrate([(2, 1.0)], 0.0)
+
+
+def test_calibration_clamped_to_bounds():
+    m = TransferTimeModel(gain=0.5, gain_bounds=(0.1, 0.9))
+    # Observations implying gain > 1 clamp to the upper bound.
+    m.calibrate([(2, 30 * MB)], 5 * MB)
+    assert m.gain == 0.9
+    m.calibrate([(5, 1 * MB)], 5 * MB)  # implies negative gain
+    assert m.gain == 0.1
+
+
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=1e3, max_value=1e9),
+    st.floats(min_value=1e3, max_value=1e12),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_time_positive_and_bounded(gain, n, thr, size):
+    m = TransferTimeModel(gain=gain)
+    t = m.estimate(size, thr, n)
+    assert 0 < t <= size / thr * 1.0000001
+    # Speedup can never exceed n (no superlinear parallelism).
+    assert m.speedup(n) <= n + 1e-9

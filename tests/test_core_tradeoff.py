@@ -1,0 +1,131 @@
+"""Unit + property tests for the money/time trade-off engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.pricing import PriceBook
+from repro.core.cost import CostModel
+from repro.core.time_model import TransferTimeModel
+from repro.core.tradeoff import TradeoffAnalyzer
+from repro.simulation.units import GB, MB
+
+
+@pytest.fixture
+def analyzer():
+    return TradeoffAnalyzer(
+        TransferTimeModel(gain=0.65), CostModel(PriceBook()), max_nodes=16
+    )
+
+
+def test_options_curve_shape(analyzer):
+    opts = analyzer.options(1 * GB, 5 * MB)
+    assert len(opts) == 16
+    times = [o.predicted_time for o in opts]
+    assert times == sorted(times, reverse=True)  # monotone faster
+    # Egress floor: no option is cheaper than the egress alone.
+    assert all(o.usd >= 0.12 for o in opts)
+
+
+def test_budget_constrained_choice(analyzer):
+    opts = analyzer.options(1 * GB, 5 * MB)
+    budget = opts[5].usd  # exactly affords 6 nodes... or a faster cheaper one
+    chosen = analyzer.nodes_within_budget(1 * GB, 5 * MB, budget)
+    assert chosen is not None
+    assert chosen.usd <= budget
+    # No feasible option is faster.
+    feasible = [o for o in opts if o.usd <= budget]
+    assert chosen.predicted_time == min(o.predicted_time for o in feasible)
+
+
+def test_budget_infeasible_returns_none(analyzer):
+    assert analyzer.nodes_within_budget(1 * GB, 5 * MB, 0.0001) is None
+
+
+def test_deadline_constrained_choice(analyzer):
+    opts = analyzer.options(1 * GB, 5 * MB)
+    deadline = opts[7].predicted_time
+    chosen = analyzer.cheapest_within_deadline(1 * GB, 5 * MB, deadline)
+    assert chosen is not None
+    assert chosen.predicted_time <= deadline
+    feasible = [o for o in opts if o.predicted_time <= deadline]
+    assert chosen.usd == min(o.usd for o in feasible)
+
+
+def test_deadline_unreachable_returns_none(analyzer):
+    assert analyzer.cheapest_within_deadline(10 * GB, 1 * MB, 1.0) is None
+
+
+def test_pareto_front_no_dominated_points(analyzer):
+    opts = analyzer.options(1 * GB, 5 * MB)
+    front = analyzer.pareto_front(opts)
+    assert front  # never empty
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            dominated = (
+                b.predicted_time <= a.predicted_time
+                and b.usd <= a.usd
+                and (b.predicted_time < a.predicted_time or b.usd < a.usd)
+            )
+            assert not dominated
+
+
+def test_knee_lies_on_front_and_minimises_badness(analyzer):
+    opts = analyzer.options(1 * GB, 5 * MB)
+    front = analyzer.pareto_front(opts)
+    knee = analyzer.knee(opts)
+    assert knee in front
+    assert knee.n_nodes > 1  # parallelism is clearly worth it here
+    # Re-derive the knee criterion independently.
+    t_lo = min(o.predicted_time for o in front)
+    t_hi = max(o.predicted_time for o in front)
+    c_lo = min(o.usd for o in front)
+    c_hi = max(o.usd for o in front)
+
+    def badness(o):
+        return (o.predicted_time - t_lo) / (t_hi - t_lo) + (o.usd - c_lo) / (
+            c_hi - c_lo
+        )
+
+    assert badness(knee) == pytest.approx(min(badness(o) for o in front))
+
+
+def test_max_nodes_validation():
+    with pytest.raises(ValueError):
+        TradeoffAnalyzer(
+            TransferTimeModel(), CostModel(PriceBook()), max_nodes=0
+        )
+
+
+@given(
+    st.floats(min_value=1 * MB, max_value=100 * GB),
+    st.floats(min_value=0.5 * MB, max_value=50 * MB),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_budget_never_exceeded(size, thr, gain):
+    analyzer = TradeoffAnalyzer(
+        TransferTimeModel(gain=gain), CostModel(PriceBook()), max_nodes=12
+    )
+    opts = analyzer.options(size, thr)
+    budget = opts[0].usd * 1.5
+    chosen = analyzer.nodes_within_budget(size, thr, budget)
+    assert chosen is None or chosen.usd <= budget + 1e-12
+
+
+@given(
+    st.floats(min_value=1 * MB, max_value=100 * GB),
+    st.floats(min_value=0.5 * MB, max_value=50 * MB),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_bigger_budget_never_slower(size, thr):
+    analyzer = TradeoffAnalyzer(
+        TransferTimeModel(gain=0.5), CostModel(PriceBook()), max_nodes=12
+    )
+    opts = analyzer.options(size, thr)
+    lo = analyzer.nodes_within_budget(size, thr, opts[0].usd)
+    hi = analyzer.nodes_within_budget(size, thr, opts[0].usd * 10)
+    assert lo is not None and hi is not None
+    assert hi.predicted_time <= lo.predicted_time + 1e-9

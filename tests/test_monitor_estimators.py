@@ -1,0 +1,200 @@
+"""Unit + property tests for the sample-integration strategies."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.estimators import (
+    EwmaEstimator,
+    LastSampleEstimator,
+    SlidingMeanEstimator,
+    WeightedSampleEstimator,
+    make_estimator,
+)
+
+
+def feed(est, values, dt=60.0):
+    for i, v in enumerate(values):
+        est.update(i * dt, v)
+    return est
+
+
+# ----------------------------------------------------------------------
+# Individual strategies
+# ----------------------------------------------------------------------
+def test_last_sample_tracks_exactly():
+    est = feed(LastSampleEstimator(), [5.0, 7.0, 3.0])
+    assert est.mean == 3.0
+    assert est.std == 0.0
+    assert est.samples_seen == 3
+
+
+def test_sliding_mean_window():
+    est = SlidingMeanEstimator(window=3)
+    feed(est, [1.0, 2.0, 3.0, 4.0])
+    assert est.mean == pytest.approx(3.0)  # last three
+    assert est.std == pytest.approx(np.std([2, 3, 4]))
+
+
+def test_sliding_mean_validates():
+    with pytest.raises(ValueError):
+        SlidingMeanEstimator(window=0)
+
+
+def test_ewma_converges_to_level():
+    est = feed(EwmaEstimator(alpha=0.3), [10.0] * 50)
+    assert est.mean == pytest.approx(10.0)
+    assert est.std == pytest.approx(0.0, abs=1e-9)
+
+
+def test_ewma_validates_alpha():
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=0.0)
+
+
+def test_wsi_first_sample_initialises():
+    est = WeightedSampleEstimator()
+    est.update(0.0, 8.0)
+    assert est.mean == 8.0
+    assert est.std > 0  # seeded uncertainty
+
+
+def test_wsi_outlier_mostly_ignored_in_stable_environment():
+    est = WeightedSampleEstimator(history=8)
+    feed(est, [10.0] * 40)
+    before = est.mean
+    est.update(41 * 60.0, 100.0)  # wild outlier
+    # The Gaussian trust term suppresses it: move < 20 % toward it.
+    assert est.mean < before + 0.2 * (100.0 - before)
+
+
+def test_wsi_follows_genuine_level_shift():
+    est = WeightedSampleEstimator(history=8)
+    feed(est, [10.0] * 30)
+    for i in range(30, 120):
+        est.update(i * 60.0, 20.0)
+    assert est.mean == pytest.approx(20.0, rel=0.1)
+
+
+def test_wsi_smoother_than_last_sample_on_noise():
+    rng = np.random.default_rng(0)
+    truth = 10.0
+    samples = truth + rng.normal(0, 2.0, 400)
+    wsi = WeightedSampleEstimator()
+    mon = LastSampleEstimator()
+    wsi_err, mon_err = [], []
+    for i, s in enumerate(samples):
+        wsi.update(i * 60.0, s)
+        mon.update(i * 60.0, s)
+        if i > 20:
+            wsi_err.append(abs(wsi.mean - truth))
+            mon_err.append(abs(mon.mean - truth))
+    assert np.mean(wsi_err) < 0.5 * np.mean(mon_err)
+
+
+def test_wsi_rarity_weights_sparse_samples_higher():
+    est = WeightedSampleEstimator(history=8, time_reference=600.0)
+    feed(est, [10.0] * 20)
+    w_dense = est.weight(20 * 60.0, 12.0, dt=10.0)
+    w_sparse = est.weight(20 * 60.0, 12.0, dt=600.0)
+    assert w_sparse > w_dense
+
+
+def test_wsi_validates():
+    with pytest.raises(ValueError):
+        WeightedSampleEstimator(history=0)
+    with pytest.raises(ValueError):
+        WeightedSampleEstimator(time_reference=0.0)
+
+
+def test_time_order_enforced():
+    est = WeightedSampleEstimator()
+    est.update(100.0, 1.0)
+    with pytest.raises(ValueError):
+        est.update(50.0, 1.0)
+
+
+def test_factory():
+    for name in ("Monitor", "LSI", "EWMA", "WSI"):
+        est = make_estimator(name)
+        assert est.name == name
+    with pytest.raises(ValueError, match="unknown strategy"):
+        make_estimator("nope")
+
+
+# ----------------------------------------------------------------------
+# Comparative property: the E2 ranking on synthetic cloud-like traces
+# ----------------------------------------------------------------------
+def test_wsi_beats_monitor_on_ar1_noise():
+    """On an AR(1)-noisy level (cloud-like), WSI tracks the level better
+    than trusting the last sample — the core E2 claim."""
+    rng = np.random.default_rng(42)
+    n = 600
+    level = np.where(np.arange(n) < 300, 10.0, 14.0)
+    x = 0.0
+    noise = []
+    for _ in range(n):
+        x = 0.9 * x + rng.normal(0, 0.1)
+        noise.append(math.exp(x))
+    observed = level * np.array(noise)
+    strategies = {
+        "Monitor": LastSampleEstimator(),
+        "LSI": SlidingMeanEstimator(window=30),
+        "WSI": WeightedSampleEstimator(),
+    }
+    errors = {name: [] for name in strategies}
+    for i in range(n):
+        for name, est in strategies.items():
+            est.update(i * 60.0, observed[i])
+            if i > 30:
+                errors[name].append(abs(est.mean - level[i]) / level[i])
+    mean_err = {k: float(np.mean(v)) for k, v in errors.items()}
+    assert mean_err["WSI"] < mean_err["Monitor"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis invariants
+# ----------------------------------------------------------------------
+positive_floats = st.floats(min_value=0.01, max_value=1e6)
+
+
+@given(st.lists(positive_floats, min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_property_estimates_within_sample_range(values):
+    """Every estimator's mean stays inside [min, max] of what it saw."""
+    for name in ("Monitor", "LSI", "EWMA", "WSI"):
+        est = make_estimator(name)
+        feed(est, values)
+        assert min(values) - 1e-6 <= est.mean <= max(values) + 1e-6
+
+
+@given(st.lists(positive_floats, min_size=2, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_property_std_nonnegative_and_finite(values):
+    for name in ("LSI", "EWMA", "WSI"):
+        est = make_estimator(name)
+        feed(est, values)
+        assert est.std >= 0.0
+        assert math.isfinite(est.std)
+
+
+@given(positive_floats, st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_property_constant_stream_converges(value, n):
+    """A constant signal is learned exactly by every strategy."""
+    for name in ("Monitor", "LSI", "EWMA", "WSI"):
+        est = make_estimator(name)
+        feed(est, [value] * n)
+        assert est.mean == pytest.approx(value, rel=1e-6)
+
+
+@given(st.lists(positive_floats, min_size=1, max_size=60), positive_floats)
+@settings(max_examples=60, deadline=None)
+def test_property_wsi_weight_in_unit_interval(values, sample):
+    est = WeightedSampleEstimator()
+    feed(est, values)
+    w = est.weight(len(values) * 60.0, sample, dt=60.0)
+    assert 0.0 <= w <= 1.0

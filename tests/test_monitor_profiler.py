@@ -1,0 +1,103 @@
+"""Tests for history profiling and anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.history import MetricHistory
+from repro.monitor.profiler import HistoryProfiler
+
+
+def history_from(values, dt=60.0):
+    h = MetricHistory(maxlen=100_000)
+    for i, v in enumerate(values):
+        h.record(i * dt, float(v))
+    return h
+
+
+def test_profile_summary():
+    rng = np.random.default_rng(0)
+    h = history_from(10.0 + rng.normal(0, 0.5, 500))
+    p = HistoryProfiler().profile("thr/x", h)
+    assert p.samples == 500
+    assert p.mean == pytest.approx(10.0, rel=0.05)
+    assert p.p05 < p.p95
+    assert p.is_stable()
+    assert abs(p.trend_per_hour) < 0.2
+
+
+def test_profile_detects_trend():
+    values = np.linspace(10.0, 20.0, 240)  # rising over 4 hours
+    p = HistoryProfiler().profile("thr/x", history_from(values))
+    assert p.trend_per_hour == pytest.approx(2.5, rel=0.05)
+
+
+def test_profile_empty_raises():
+    with pytest.raises(ValueError):
+        HistoryProfiler().profile("x", MetricHistory())
+
+
+def test_detect_sustained_drop_not_glitch():
+    rng = np.random.default_rng(1)
+    base = 10.0 + rng.normal(0, 0.3, 600)
+    base[300:] *= 0.5  # sustained halving
+    base[100] = 1.0  # one-sample glitch: must not trigger
+    profiler = HistoryProfiler(window=30)
+    anomalies = profiler.detect_anomalies("thr/x", history_from(base))
+    drops = [a for a in anomalies if a.kind == "level-drop"]
+    assert len(drops) == 1
+    assert 300 * 60 * 0.9 <= drops[0].start_time <= 330 * 60 * 1.1
+    assert drops[0].magnitude < 0.65
+
+
+def test_detect_level_rise():
+    values = np.concatenate([np.full(200, 5.0), np.full(200, 12.0)])
+    anomalies = HistoryProfiler(window=25).detect_anomalies(
+        "x", history_from(values)
+    )
+    assert any(a.kind == "level-rise" for a in anomalies)
+
+
+def test_detect_high_variance():
+    rng = np.random.default_rng(2)
+    quiet = 10.0 + rng.normal(0, 0.1, 200)
+    noisy = 10.0 + rng.normal(0, 7.0, 200)
+    values = np.abs(np.concatenate([quiet, noisy]))
+    anomalies = HistoryProfiler(window=25).detect_anomalies(
+        "x", history_from(values)
+    )
+    assert any(a.kind == "high-variance" for a in anomalies)
+
+
+def test_no_anomalies_on_stable_signal():
+    rng = np.random.default_rng(3)
+    values = 10.0 + rng.normal(0, 0.2, 400)
+    assert (
+        HistoryProfiler(window=30).detect_anomalies("x", history_from(values))
+        == []
+    )
+
+
+def test_short_history_is_silent():
+    assert HistoryProfiler(window=30).detect_anomalies(
+        "x", history_from([1.0] * 10)
+    ) == []
+
+
+def test_profiler_validation():
+    with pytest.raises(ValueError):
+        HistoryProfiler(window=2)
+
+
+def test_report_renders():
+    rng = np.random.default_rng(4)
+    histories = {
+        "thr/A->B": history_from(10 + rng.normal(0, 0.5, 200)),
+        "thr/A->C": history_from(np.concatenate(
+            [np.full(150, 8.0), np.full(150, 3.0)]
+        )),
+        "empty": MetricHistory(),
+    }
+    report = HistoryProfiler(window=30).report(histories)
+    assert "thr/A->B" in report
+    assert "level-drop" in report
+    assert "stable" in report and "anomalies" in report

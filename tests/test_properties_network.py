@@ -1,0 +1,155 @@
+"""Hypothesis property tests on the fluid max-min allocation.
+
+The allocator must uphold three invariants for *any* set of concurrent
+flows: feasibility (no resource over its capacity), cap-respect (no flow
+above its private ceiling), and max-min efficiency (a flow below its cap
+is blocked by at least one saturated resource — nobody can be raised
+without lowering someone else).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.cloud.network import Flow
+from repro.simulation.units import GB, MB
+
+_EPS = 1e-6
+
+REGIONS = ["NEU", "WEU", "NUS", "EUS"]
+
+
+def build_env() -> CloudEnvironment:
+    return CloudEnvironment(
+        seed=7, variability_sigma=0.0, diurnal_amplitude=0.0, glitches=False
+    )
+
+
+flow_specs = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # src region index
+        st.integers(0, 3),  # dst region index
+        st.integers(0, 2),  # src vm index
+        st.integers(0, 2),  # dst vm index
+        st.integers(1, 8),  # streams
+        st.sampled_from([0.25, 0.5, 1.0]),  # intrusiveness
+        st.booleans(),  # relay through EUS?
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def materialise(env, specs) -> list[Flow]:
+    vms = {r: env.provision(r, "Small", 3) for r in REGIONS}
+    flows = []
+    for si, di, svm, dvm, streams, intr, relay in specs:
+        src = vms[REGIONS[si]][svm]
+        dst = vms[REGIONS[di]][dvm]
+        if src is dst:
+            continue
+        path = [src, dst]
+        if relay and REGIONS[si] != "EUS" and REGIONS[di] != "EUS":
+            path = [src, vms["EUS"][2], dst]
+        flows.append(
+            Flow(path, 1 * GB, streams=streams, intrusiveness=intr)
+        )
+    return flows
+
+
+def resource_usage(env, flows):
+    """Recompute per-resource usage from allocated rates."""
+    usage: dict[object, float] = {}
+    caps: dict[object, float] = {}
+    for f in flows:
+        for vm in f.path[:-1]:
+            key = ("up", vm.vm_id)
+            usage[key] = usage.get(key, 0.0) + f.rate
+            caps[key] = vm.uplink_capacity
+        for vm in f.path[1:]:
+            key = ("down", vm.vm_id)
+            usage[key] = usage.get(key, 0.0) + f.rate
+            caps[key] = vm.downlink_capacity
+        for a, b in f.hops():
+            if a.region_code != b.region_code:
+                key = ("wan", a.region_code, b.region_code)
+                usage[key] = usage.get(key, 0.0) + f.rate
+                caps[key] = env.topology.link(
+                    a.region_code, b.region_code
+                ).capacity(env.now)
+    return usage, caps
+
+
+@given(flow_specs)
+@settings(max_examples=60, deadline=None)
+def test_property_allocation_feasible_and_capped(specs):
+    env = build_env()
+    flows = materialise(env, specs)
+    if not flows:
+        return
+    for f in flows:
+        env.network.start_flow(f)
+    usage, caps = resource_usage(env, env.network.flows)
+    # Feasibility: no resource above capacity.
+    for key, used in usage.items():
+        assert used <= caps[key] * (1 + 1e-9) + _EPS, key
+    # Cap-respect: no flow above its private ceiling.
+    for f in env.network.flows:
+        assert f.rate <= env.network.flow_cap(f) * (1 + 1e-9) + _EPS
+    # Non-negative rates, and at least someone is moving.
+    assert all(f.rate >= 0 for f in env.network.flows)
+    assert any(f.rate > 0 for f in env.network.flows)
+
+
+@given(flow_specs)
+@settings(max_examples=40, deadline=None)
+def test_property_maxmin_no_free_lunch(specs):
+    """A flow below its cap must sit on at least one saturated resource."""
+    env = build_env()
+    flows = materialise(env, specs)
+    if not flows:
+        return
+    for f in flows:
+        env.network.start_flow(f)
+    usage, caps = resource_usage(env, env.network.flows)
+    saturated = {
+        key for key, used in usage.items() if used >= caps[key] * (1 - 1e-6)
+    }
+    for f in env.network.flows:
+        if f.rate < env.network.flow_cap(f) * (1 - 1e-6):
+            resources = set()
+            for vm in f.path[:-1]:
+                resources.add(("up", vm.vm_id))
+            for vm in f.path[1:]:
+                resources.add(("down", vm.vm_id))
+            for a, b in f.hops():
+                if a.region_code != b.region_code:
+                    resources.add(("wan", a.region_code, b.region_code))
+            assert resources & saturated, (
+                f"{f!r} runs below its cap but no resource it uses is "
+                f"saturated"
+            )
+
+
+@given(flow_specs, st.floats(min_value=1.0, max_value=500.0))
+@settings(max_examples=25, deadline=None)
+def test_property_conservation_of_bytes(specs, horizon):
+    """Settled progress equals the integral of allocated rates: total
+    transferred never exceeds what time × rate allows, and completed
+    flows carry exactly their size."""
+    env = build_env()
+    flows = materialise(env, specs)
+    if not flows:
+        return
+    for f in flows:
+        env.network.start_flow(f)
+    env.sim.run_until(horizon)
+    for f in flows:
+        assert -_EPS <= f.transferred <= f.size + _EPS
+        if f.done:
+            assert f.transferred == pytest.approx(f.size)
+        # No flow can beat its ceiling integrated over time.
+        assert f.transferred <= env.network.flow_cap(f) * horizon * 1.5 + MB

@@ -1,0 +1,135 @@
+"""Unit tests for the simulator."""
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run_until(7.0)
+    assert fired == ["a"]
+    assert sim.now == 7.0
+    sim.run_until(20.0)
+    assert fired == ["a", "b"]
+    assert sim.now == 20.0
+
+
+def test_schedule_at_absolute():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, fired.append, "x")
+    sim.run_until(3.0)
+    assert fired == ["x"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(2.0, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(5.0)
+
+
+def test_callbacks_can_schedule_more():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run_until(10.0)
+    assert fired == [0, 1, 2, 3]
+    assert sim.events_processed == 4
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "no")
+    ev.cancel()
+    sim.run_until(5.0)
+    assert fired == []
+
+
+def test_periodic_task_fires_and_stops():
+    sim = Simulator()
+    count = {"n": 0}
+
+    def tick():
+        count["n"] += 1
+
+    task = sim.add_periodic(10.0, tick)
+    sim.run_until(35.0)
+    assert count["n"] == 3
+    task.stop()
+    sim.run_until(100.0)
+    assert count["n"] == 3
+    assert task.stopped
+
+
+def test_periodic_immediate_start():
+    sim = Simulator()
+    times = []
+    sim.add_periodic(10.0, lambda: times.append(sim.now), start_delay=0.0)
+    sim.run_until(25.0)
+    assert times == [0.0, 10.0, 20.0]
+
+
+def test_periodic_invalid_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.add_periodic(0.0, lambda: None)
+
+
+def test_max_events_guard():
+    sim = Simulator(max_events=100)
+
+    def forever():
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run_until(1.0)
+
+
+def test_tracer_sees_events():
+    sim = Simulator()
+    seen = []
+    sim.add_tracer(lambda e: seen.append(e.time))
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run_until(5.0)
+    assert seen == [1.0, 2.0]
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        rng = sim.rngs.get("test")
+        out = []
+        sim.add_periodic(1.0, lambda: out.append(float(rng.random())))
+        sim.run_until(10.0)
+        return out
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

@@ -1,0 +1,64 @@
+"""Unit tests for unit constants and formatting."""
+
+import pytest
+
+from repro.simulation.units import (
+    DAY,
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MBPS,
+    MINUTE,
+    TB,
+    format_bytes,
+    format_duration,
+)
+
+
+def test_byte_units_scale():
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert TB == 1024 * GB
+
+
+def test_mbps_is_bytes_per_second():
+    # 100 Mbps NIC = 12.5 decimal MB/s.
+    assert 100 * MBPS == pytest.approx(12.5e6)
+
+
+def test_time_units():
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR
+
+
+@pytest.mark.parametrize(
+    "size,expected",
+    [
+        (512, "512 B"),
+        (1536, "1.50 KB"),
+        (3 * MB, "3.00 MB"),
+        (2.5 * GB, "2.50 GB"),
+        (1.2 * TB, "1.20 TB"),
+    ],
+)
+def test_format_bytes(size, expected):
+    assert format_bytes(size) == expected
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (0.25, "250ms"),
+        (5.0, "5.00s"),
+        (90, "1m30s"),
+        (3 * HOUR + 5 * MINUTE, "3h05m"),
+        (2 * DAY + 3 * HOUR, "2d03h"),
+    ],
+)
+def test_format_duration(seconds, expected):
+    assert format_duration(seconds) == expected
+
+
+def test_format_duration_negative():
+    assert format_duration(-90) == "-1m30s"

@@ -1,0 +1,104 @@
+"""Unit tests for batching policies and the batcher."""
+
+import pytest
+
+from repro.streaming.batching import (
+    AdaptiveBatchPolicy,
+    Batcher,
+    HybridBatchPolicy,
+    SizeBatchPolicy,
+    TimeBatchPolicy,
+)
+from repro.streaming.events import Record
+
+
+def rec(t, size=100.0):
+    return Record(event_time=t, key="k", value=1.0, size_bytes=size)
+
+
+def test_size_policy():
+    p = SizeBatchPolicy(1000.0)
+    assert not p.should_flush(999.0, 5, 100.0)
+    assert p.should_flush(1000.0, 5, 0.0)
+    with pytest.raises(ValueError):
+        SizeBatchPolicy(0.0)
+
+
+def test_time_policy():
+    p = TimeBatchPolicy(2.0)
+    assert not p.should_flush(1e9, 5, 1.9)
+    assert p.should_flush(1.0, 1, 2.0)
+    with pytest.raises(ValueError):
+        TimeBatchPolicy(-1.0)
+
+
+def test_hybrid_policy_either_fires():
+    p = HybridBatchPolicy(1000.0, 2.0)
+    assert p.should_flush(1000.0, 1, 0.0)
+    assert p.should_flush(1.0, 1, 2.0)
+    assert not p.should_flush(500.0, 1, 1.0)
+
+
+def test_adaptive_policy_follows_link():
+    thr = {"v": 1_000_000.0}
+    p = AdaptiveBatchPolicy(lambda: thr["v"], target_occupancy=0.5,
+                            max_delay=5.0, min_bytes=1000.0)
+    assert p.current_threshold() == 500_000.0
+    thr["v"] = 100.0  # link collapsed → clamp to min
+    assert p.current_threshold() == 1000.0
+    thr["v"] = float("nan")  # unmonitored → conservative
+    assert p.current_threshold() == 1000.0
+    assert p.should_flush(0.0, 0, 5.0)  # staleness bound regardless
+
+
+def test_adaptive_policy_validation():
+    with pytest.raises(ValueError):
+        AdaptiveBatchPolicy(lambda: 1.0, target_occupancy=0.0)
+
+
+def test_batcher_flushes_on_size():
+    b = Batcher(SizeBatchPolicy(250.0), origin="NEU")
+    assert b.offer(rec(0.0), now=0.0) is None
+    assert b.offer(rec(0.1), now=0.1) is None
+    batch = b.offer(rec(0.2), now=0.2)
+    assert batch is not None
+    assert batch.count == 3
+    assert batch.origin == "NEU"
+    assert b.buffered_count == 0
+
+
+def test_batcher_flushes_on_age_via_tick():
+    b = Batcher(TimeBatchPolicy(2.0), origin="NEU")
+    b.offer(rec(0.0), now=0.0)
+    assert b.maybe_flush(now=1.0) is None
+    batch = b.maybe_flush(now=2.5)
+    assert batch is not None
+    assert batch.oldest_event_time == 0.0
+
+
+def test_batcher_forced_flush_and_seq():
+    b = Batcher(SizeBatchPolicy(1e9), origin="X")
+    assert b.flush(now=0.0) is None  # empty
+    b.offer(rec(0.0), now=0.0)
+    b1 = b.flush(now=1.0)
+    b.offer(rec(2.0), now=2.0)
+    b2 = b.flush(now=3.0)
+    assert (b1.seq, b2.seq) == (0, 1)
+    assert b.batches_cut == 2
+
+
+def test_batch_properties():
+    b = Batcher(SizeBatchPolicy(1e9), origin="X")
+    b.offer(rec(5.0, size=100), now=5.0)
+    b.offer(rec(3.0, size=200), now=5.5)
+    batch = b.flush(now=6.0)
+    assert batch.size_bytes == 300.0
+    assert batch.oldest_event_time == 3.0
+    assert batch.created_at == 6.0
+
+
+def test_empty_batch_rejected():
+    from repro.streaming.events import Batch
+
+    with pytest.raises(ValueError):
+        Batch([], "X", 0.0)

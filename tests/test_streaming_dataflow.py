@@ -1,0 +1,68 @@
+"""Unit tests for the declarative job descriptions."""
+
+import pytest
+
+from repro.streaming.batching import SizeBatchPolicy
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import builtin_aggregate
+from repro.streaming.sources import PoissonSource
+from repro.streaming.windows import TumblingWindows
+
+
+def site(region="NEU"):
+    return SiteSpec(region, [PoissonSource(f"s-{region}", rate=1.0)])
+
+
+def test_site_spec_requires_sources():
+    with pytest.raises(ValueError, match="at least one source"):
+        SiteSpec("NEU", [])
+
+
+def test_job_defaults():
+    job = StreamJob(name="j", sites=[site()], aggregation_region="NUS")
+    assert job.windows.length == 10.0
+    assert job.aggregate.name == "mean"
+    assert not job.ship_raw_records
+    policy = job.batch_policy_factory()
+    assert policy.should_flush(10**9, 1, 0.0)  # hybrid default exists
+
+
+def test_job_rejects_duplicate_sites():
+    with pytest.raises(ValueError, match="duplicate site regions"):
+        StreamJob(
+            name="j",
+            sites=[site("NEU"), site("NEU")],
+            aggregation_region="NUS",
+        )
+
+
+def test_job_rejects_no_sites():
+    with pytest.raises(ValueError, match="at least one site"):
+        StreamJob(name="j", sites=[], aggregation_region="NUS")
+
+
+def test_job_rejects_negative_grace():
+    with pytest.raises(ValueError):
+        StreamJob(
+            name="j",
+            sites=[site()],
+            aggregation_region="NUS",
+            finalize_grace=-1.0,
+        )
+
+
+def test_job_custom_components():
+    job = StreamJob(
+        name="custom",
+        sites=[site("NEU"), site("WEU")],
+        aggregation_region="NUS",
+        windows=TumblingWindows(5.0),
+        aggregate=builtin_aggregate("max"),
+        batch_policy_factory=lambda: SizeBatchPolicy(1000.0),
+        ship_raw_records=True,
+    )
+    assert job.site_regions() == ["NEU", "WEU"]
+    assert job.aggregate.name == "max"
+    assert isinstance(job.batch_policy_factory(), SizeBatchPolicy)
+    # Each call builds a fresh policy (one batcher per site).
+    assert job.batch_policy_factory() is not job.batch_policy_factory()

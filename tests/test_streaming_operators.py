@@ -1,0 +1,170 @@
+"""Unit + property tests for operators and mergeable aggregates."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.events import Record
+from repro.streaming.operators import (
+    FilterOperator,
+    MapOperator,
+    PartialAggregate,
+    WindowedAggregator,
+    builtin_aggregate,
+)
+from repro.streaming.windows import TumblingWindows
+
+
+def rec(t, key="k", value=1.0):
+    return Record(event_time=t, key=key, value=value)
+
+
+# ----------------------------------------------------------------------
+# Simple operators
+# ----------------------------------------------------------------------
+def test_map_operator():
+    op = MapOperator(lambda r: Record(r.event_time, r.key, r.value * 2))
+    out = op.process(rec(1.0, value=3.0))
+    assert out[0].value == 6.0
+
+
+def test_map_operator_can_drop():
+    op = MapOperator(lambda r: None)
+    assert op.process(rec(1.0)) == []
+
+
+def test_filter_operator():
+    op = FilterOperator(lambda r: r.value > 0)
+    assert op.process(rec(1.0, value=5.0))
+    assert op.process(rec(1.0, value=-5.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Built-in aggregates
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name,values,expected",
+    [
+        ("count", [1.0, 2.0, 3.0], 3),
+        ("sum", [1.0, 2.0, 3.0], 6.0),
+        ("min", [4.0, 1.0, 3.0], 1.0),
+        ("max", [4.0, 1.0, 3.0], 4.0),
+        ("mean", [2.0, 4.0, 6.0], 4.0),
+        ("var", [2.0, 4.0, 6.0], 8.0 / 3.0),
+    ],
+)
+def test_builtin_aggregates_sequential(name, values, expected):
+    agg = builtin_aggregate(name)
+    state = agg.zero()
+    for v in values:
+        state = agg.add(state, v)
+    assert agg.result(state) == pytest.approx(expected)
+
+
+def test_unknown_aggregate():
+    with pytest.raises(ValueError):
+        builtin_aggregate("median")
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+)
+
+
+@pytest.mark.parametrize("name", ["count", "sum", "min", "max", "mean", "var"])
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_merge_equals_sequential(name, data):
+    """merge(partial(A), partial(B)) == partial(A ++ B) — the invariant
+    geo-distributed partial aggregation rests on."""
+    a = data.draw(values_strategy)
+    b = data.draw(values_strategy)
+    agg = builtin_aggregate(name)
+
+    def fold(vals):
+        s = agg.zero()
+        for v in vals:
+            s = agg.add(s, v)
+        return s
+
+    merged = agg.merge(fold(a), fold(b))
+    direct = fold(a + b)
+    assert agg.result(merged) == pytest.approx(
+        agg.result(direct), rel=1e-9, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("name", ["count", "sum", "min", "max", "mean", "var"])
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_property_merge_commutative(name, data):
+    a = data.draw(values_strategy)
+    b = data.draw(values_strategy)
+    agg = builtin_aggregate(name)
+
+    def fold(vals):
+        s = agg.zero()
+        for v in vals:
+            s = agg.add(s, v)
+        return s
+
+    ab = agg.merge(fold(a), fold(b))
+    ba = agg.merge(fold(b), fold(a))
+    assert agg.result(ab) == pytest.approx(agg.result(ba), rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# WindowedAggregator
+# ----------------------------------------------------------------------
+def test_windowed_aggregation_emits_on_watermark():
+    wa = WindowedAggregator(TumblingWindows(10.0), builtin_aggregate("sum"))
+    for t in (1.0, 5.0, 9.0, 11.0):
+        wa.process(rec(t, value=2.0))
+    assert wa.advance_watermark(5.0) == []  # window not closed yet
+    out = wa.advance_watermark(10.0)
+    assert len(out) == 1
+    pa = out[0].value
+    assert isinstance(pa, PartialAggregate)
+    assert pa.state == pytest.approx(6.0)
+    assert pa.count == 3
+    out2 = wa.advance_watermark(20.0)
+    assert out2[0].value.state == pytest.approx(2.0)
+
+
+def test_windowed_aggregation_per_key():
+    wa = WindowedAggregator(TumblingWindows(10.0), builtin_aggregate("count"))
+    wa.process(rec(1.0, key="a"))
+    wa.process(rec(2.0, key="b"))
+    wa.process(rec(3.0, key="a"))
+    out = wa.advance_watermark(10.0)
+    by_key = {r.key: r.value.state for r in out}
+    assert by_key == {"a": 2, "b": 1}
+
+
+def test_late_records_dropped_and_counted():
+    wa = WindowedAggregator(
+        TumblingWindows(10.0), builtin_aggregate("count"), allowed_lateness=2.0
+    )
+    wa.advance_watermark(20.0)
+    wa.process(rec(19.0))  # within lateness: kept
+    wa.process(rec(5.0))  # far too late: dropped
+    assert wa.late_dropped == 1
+    assert wa.records_seen == 2
+
+
+def test_watermark_cannot_regress():
+    wa = WindowedAggregator(TumblingWindows(10.0), builtin_aggregate("count"))
+    wa.advance_watermark(50.0)
+    with pytest.raises(ValueError):
+        wa.advance_watermark(10.0)
+
+
+def test_open_windows_tracked():
+    wa = WindowedAggregator(TumblingWindows(10.0), builtin_aggregate("count"))
+    wa.process(rec(5.0))
+    wa.process(rec(15.0))
+    assert wa.open_windows == 2
+    wa.advance_watermark(30.0)
+    assert wa.open_windows == 0

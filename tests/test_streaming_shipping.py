@@ -1,0 +1,109 @@
+"""Tests for the shipping backends."""
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+from repro.simulation.units import KB, MB
+from repro.streaming.events import Batch, Record
+from repro.streaming.shipping import BlobShipping, DirectShipping, SageShipping
+
+
+@pytest.fixture
+def engine():
+    env = CloudEnvironment(seed=61, variability_sigma=0.0, glitches=False)
+    eng = SageEngine(env, deployment_spec={"NEU": 3, "WEU": 3, "NUS": 3})
+    eng.start(learning_phase=120.0)
+    return eng
+
+
+def batch(region="NEU", size=512 * KB, now=0.0):
+    return Batch(
+        [Record(now, "k", 1.0, origin=region, size_bytes=size)],
+        region,
+        created_at=now,
+    )
+
+
+def ship_and_wait(engine, backend, b, timeout=600.0):
+    done = []
+    backend.ship(b, lambda bb: done.append(engine.sim.now))
+    deadline = engine.sim.now + timeout
+    while not done and engine.sim.now < deadline:
+        engine.run_until(min(engine.sim.now + 5, deadline))
+    assert done, "batch was not delivered"
+    return done[0]
+
+
+def test_direct_shipping_delivers(engine):
+    src = engine.deployment.vms("NEU")[0]
+    dst = engine.deployment.vms("NUS")[0]
+    backend = DirectShipping(engine, src, dst, streams=2)
+    ship_and_wait(engine, backend, batch())
+    assert backend.batches_shipped == 1
+    assert backend.bytes_shipped == 512 * KB
+
+
+def test_sage_shipping_reuses_plan_until_ttl(engine):
+    backend = SageShipping(engine, "NEU", "NUS", n_nodes=2, plan_ttl=300.0)
+    ship_and_wait(engine, backend, batch())
+    ship_and_wait(engine, backend, batch())
+    assert backend.plans_built == 1  # second batch rode the cached plan
+    engine.run_until(engine.sim.now + 301.0)
+    ship_and_wait(engine, backend, batch())
+    assert backend.plans_built == 2  # TTL expired → fresh plan
+
+
+def test_sage_shipping_coordination_latency(engine):
+    eager = SageShipping(engine, "NEU", "NUS", n_nodes=1,
+                         coordination_latency=0.0)
+    t0 = engine.sim.now
+    fast = ship_and_wait(engine, eager, batch(size=64 * KB)) - t0
+    slow_backend = SageShipping(engine, "NEU", "NUS", n_nodes=1,
+                                coordination_latency=5.0)
+    t1 = engine.sim.now
+    slow = ship_and_wait(engine, slow_backend, batch(size=64 * KB)) - t1
+    assert slow == pytest.approx(fast + 5.0, abs=0.5)
+
+
+def test_sage_shipping_same_region_is_local(engine):
+    backend = SageShipping(engine, "NEU", "NEU", coordination_latency=0.0)
+    t0 = engine.sim.now
+    elapsed = ship_and_wait(engine, backend, batch(size=1 * MB)) - t0
+    assert elapsed < 1.0  # intra-DC: NIC speed, no WAN planning
+
+
+def test_blob_shipping_stages_through_store(engine):
+    src = engine.deployment.vms("NEU")[0]
+    dst = engine.deployment.vms("NUS")[0]
+    backend = BlobShipping(engine, src, dst)
+    before_puts = backend.store.puts
+    ship_and_wait(engine, backend, batch(size=2 * MB))
+    assert backend.store.puts == before_puts + 1
+    assert backend.store.gets >= 1
+
+
+def test_blob_shipping_slower_than_direct(engine):
+    src = engine.deployment.vms("NEU")[0]
+    dst = engine.deployment.vms("NUS")[0]
+    t0 = engine.sim.now
+    direct_t = ship_and_wait(
+        engine, DirectShipping(engine, src, dst, streams=2), batch(size=8 * MB)
+    ) - t0
+    t1 = engine.sim.now
+    blob_t = ship_and_wait(
+        engine, BlobShipping(engine, src, dst), batch(size=8 * MB)
+    ) - t1
+    assert blob_t > direct_t  # two passes + HTTP latency
+
+
+def test_factories_build_from_vms(engine):
+    src_vms = engine.deployment.vms("NEU")
+    dst_vm = engine.deployment.vms("NUS")[0]
+    for factory in (
+        DirectShipping.factory(streams=2),
+        SageShipping.factory(n_nodes=2),
+        BlobShipping.factory(),
+    ):
+        backend = factory(engine, src_vms, dst_vm)
+        ship_and_wait(engine, backend, batch(size=128 * KB))

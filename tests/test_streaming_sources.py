@@ -1,0 +1,121 @@
+"""Tests for stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.streaming.sources import (
+    MmppSource,
+    PoissonSource,
+    SensorGridSource,
+    TraceSource,
+)
+
+
+def collect(source, duration, seed=0):
+    sim = Simulator(seed=seed)
+    out = []
+    source.attach(sim, "NEU", out.extend)
+    source.start()
+    sim.run_until(duration)
+    source.stop()
+    return sim, out
+
+
+def test_poisson_rate_and_ordering():
+    src = PoissonSource("p", rate=100.0, keys=["a", "b"])
+    sim, records = collect(src, 100.0)
+    assert len(records) == pytest.approx(10_000, rel=0.1)
+    assert {r.key for r in records} == {"a", "b"}
+    assert all(r.origin == "NEU" for r in records)
+    # Event times lie within the elapsed window.
+    assert all(0 <= r.event_time <= 100.0 for r in records)
+
+
+def test_poisson_reproducible():
+    a = collect(PoissonSource("p", rate=50.0), 20.0, seed=3)[1]
+    b = collect(PoissonSource("p", rate=50.0), 20.0, seed=3)[1]
+    assert [r.event_time for r in a] == [r.event_time for r in b]
+
+
+def test_poisson_validation():
+    with pytest.raises(ValueError):
+        PoissonSource("p", rate=0.0)
+
+
+def test_source_lifecycle_errors():
+    src = PoissonSource("p", rate=1.0)
+    with pytest.raises(RuntimeError, match="attached"):
+        src.start()
+    sim = Simulator()
+    src.attach(sim, "NEU", lambda rs: None)
+    src.start()
+    with pytest.raises(RuntimeError, match="already started"):
+        src.start()
+
+
+def test_mmpp_burstiness():
+    src = MmppSource(
+        "m", base_rate=50.0, burst_rate=2000.0, mean_quiet=30.0, mean_burst=10.0
+    )
+    sim, records = collect(src, 600.0, seed=5)
+    # Count per-second arrivals; bursts should produce heavy upper tail.
+    counts = np.bincount(
+        [int(r.event_time) for r in records], minlength=600
+    )
+    # Burst seconds run far above the long-run mean rate.
+    assert counts.max() > 4 * max(counts.mean(), 1.0)
+    mean_rate = len(records) / 600.0
+    assert 50.0 < mean_rate < 2000.0
+
+
+def test_mmpp_validation():
+    with pytest.raises(ValueError):
+        MmppSource("m", base_rate=0.0, burst_rate=10.0)
+    with pytest.raises(ValueError):
+        MmppSource("m", base_rate=1.0, burst_rate=10.0, mean_quiet=0.0)
+
+
+def test_sensor_grid_rate_and_keys():
+    src = SensorGridSource("g", n_sensors=100, report_interval=10.0)
+    sim, records = collect(src, 200.0, seed=1)
+    # ~100 sensors / 10 s → 10 records/s → ~2000 records.
+    assert len(records) == pytest.approx(2000, rel=0.15)
+    keys = {r.key for r in records}
+    assert len(keys) == 100
+    assert src.mean_rate == pytest.approx(10.0)
+
+
+def test_sensor_values_drift_slowly():
+    src = SensorGridSource("g", n_sensors=1, report_interval=1.0,
+                           drift_sigma=0.0, noise_sigma=0.0)
+    sim, records = collect(src, 50.0, seed=2)
+    values = [r.value for r in records]
+    assert np.std(values) < 0.01  # no drift, no noise → constant
+
+
+def test_sensor_validation():
+    with pytest.raises(ValueError):
+        SensorGridSource("g", n_sensors=0)
+    with pytest.raises(ValueError):
+        SensorGridSource("g", n_sensors=1, report_interval=0.0)
+
+
+def test_trace_source_replays_in_order():
+    trace = [(5.0, "a", 1), (1.0, "b", 2), (12.0, "c", 3)]
+    src = TraceSource("t", trace)
+    sim, records = collect(src, 20.0)
+    assert [r.key for r in records] == ["b", "a", "c"]
+    assert src.exhausted
+
+
+def test_trace_source_partial_replay():
+    src = TraceSource("t", [(1.0, "a", 1), (100.0, "b", 2)])
+    sim, records = collect(src, 10.0)
+    assert len(records) == 1
+    assert not src.exhausted
+
+
+def test_trace_source_validation():
+    with pytest.raises(ValueError):
+        TraceSource("t", [])

@@ -1,0 +1,76 @@
+"""Unit + property tests for window assigners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.windows import SlidingWindows, TumblingWindows, Window
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        Window(5.0, 5.0)
+    w = Window(0.0, 10.0)
+    assert w.length == 10.0
+    assert w.contains(0.0) and w.contains(9.999)
+    assert not w.contains(10.0)
+
+
+def test_tumbling_assignment():
+    t = TumblingWindows(10.0)
+    assert t.assign(0.0) == [Window(0.0, 10.0)]
+    assert t.assign(9.999) == [Window(0.0, 10.0)]
+    assert t.assign(10.0) == [Window(10.0, 20.0)]
+    assert t.assign(25.0) == [Window(20.0, 30.0)]
+
+
+def test_tumbling_validation():
+    with pytest.raises(ValueError):
+        TumblingWindows(0.0)
+
+
+def test_sliding_assignment_counts():
+    s = SlidingWindows(length=10.0, slide=5.0)
+    windows = s.assign(12.0)
+    assert len(windows) == 2
+    assert all(w.contains(12.0) for w in windows)
+    assert windows == sorted(windows)
+
+
+def test_sliding_equals_tumbling_when_slide_is_length():
+    s = SlidingWindows(10.0, 10.0)
+    t = TumblingWindows(10.0)
+    for ts in (0.0, 3.3, 9.99, 10.0, 47.2):
+        assert s.assign(ts) == t.assign(ts)
+
+
+def test_sliding_validation():
+    with pytest.raises(ValueError):
+        SlidingWindows(10.0, 0.0)
+    with pytest.raises(ValueError):
+        SlidingWindows(10.0, 11.0)  # gaps would lose events
+
+
+@given(st.floats(min_value=0.0, max_value=1e7))
+@settings(max_examples=100, deadline=None)
+def test_property_tumbling_covers_every_instant(t):
+    w = TumblingWindows(7.5).assign(t)
+    assert len(w) == 1
+    assert w[0].contains(t)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=1.0, max_value=100.0),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_sliding_every_window_contains_event(t, slide, factor):
+    length = slide * factor
+    windows = SlidingWindows(length, slide).assign(t)
+    assert windows
+    assert all(w.contains(t) for w in windows)
+    # An event belongs to ceil(length/slide) windows (boundary cases ±1).
+    assert abs(len(windows) - factor) <= 1
+    # Windows are aligned to the slide grid and distinct.
+    assert len({w.start for w in windows}) == len(windows)

@@ -1,0 +1,142 @@
+"""Unit + property tests for chunking, dedup and reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transfer.chunks import (
+    Chunk,
+    ChunkRegistry,
+    Reassembler,
+    chunk_plan,
+    content_digest,
+)
+
+
+def test_chunk_plan_covers_payload_exactly():
+    chunks = chunk_plan(100.0, 30.0)
+    assert [c.size for c in chunks] == [30.0, 30.0, 30.0, 10.0]
+    assert [c.seq for c in chunks] == [0, 1, 2, 3]
+    assert chunks[-1].end == 100.0
+
+
+def test_chunk_plan_single_chunk():
+    chunks = chunk_plan(10.0, 100.0)
+    assert len(chunks) == 1
+    assert chunks[0].size == 10.0
+
+
+def test_chunk_plan_validates():
+    with pytest.raises(ValueError):
+        chunk_plan(0.0, 10.0)
+    with pytest.raises(ValueError):
+        chunk_plan(10.0, 0.0)
+
+
+def test_chunk_validation():
+    with pytest.raises(ValueError):
+        Chunk(-1, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        Chunk(0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        Chunk(0, -1.0, 1.0)
+
+
+def test_content_digest_stable():
+    assert content_digest(b"abc") == content_digest(b"abc")
+    assert content_digest(b"abc") != content_digest(b"abd")
+
+
+def test_registry_dedup():
+    reg = ChunkRegistry()
+    assert reg.offer("d1") is True
+    assert reg.offer("d1") is False
+    assert reg.offer("d2") is True
+    assert reg.unique == 2
+    assert reg.duplicates == 1
+    assert reg.dedup_ratio() == pytest.approx(1 / 3)
+
+
+def test_registry_rejects_empty_digest():
+    with pytest.raises(ValueError):
+        ChunkRegistry().offer("")
+
+
+def test_reassembler_out_of_order_completion():
+    chunks = chunk_plan(100.0, 40.0)
+    r = Reassembler(chunks)
+    assert not r.complete
+    r.deliver(chunks[2])
+    r.deliver(chunks[0])
+    assert r.missing() == [1]
+    assert r.progress() == pytest.approx((40 + 20) / 100)
+    r.deliver(chunks[1])
+    assert r.complete
+    assert r.bytes_received == 100.0
+
+
+def test_reassembler_duplicates_counted_not_double():
+    chunks = chunk_plan(100.0, 50.0)
+    r = Reassembler(chunks)
+    assert r.deliver(chunks[0]) is True
+    assert r.deliver(chunks[0]) is False
+    assert r.duplicate_arrivals == 1
+    assert r.bytes_received == 50.0
+    assert r.acks_sent == 2  # every arrival is acked
+
+
+def test_reassembler_rejects_unknown_and_mismatched():
+    chunks = chunk_plan(100.0, 50.0)
+    r = Reassembler(chunks)
+    with pytest.raises(ValueError, match="unexpected chunk"):
+        r.deliver(Chunk(9, 0.0, 50.0))
+    with pytest.raises(ValueError, match="does not match plan"):
+        r.deliver(Chunk(0, 0.0, 49.0))
+
+
+def test_reassembler_validates_plan():
+    with pytest.raises(ValueError):
+        Reassembler([])
+    c = Chunk(0, 0.0, 10.0)
+    with pytest.raises(ValueError, match="duplicate sequence"):
+        Reassembler([c, Chunk(0, 10.0, 10.0)])
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+# Keep total/chunk ratios bounded: plans stay under ~10k chunks so the
+# property suite runs in milliseconds, not gigabytes.
+sizes = st.floats(min_value=0.5, max_value=1e5)
+chunk_sizes = st.floats(min_value=16.0, max_value=1e5)
+
+
+@given(sizes, chunk_sizes)
+@settings(max_examples=100, deadline=None)
+def test_property_chunk_plan_partition(total, chunk):
+    """Chunks tile [0, total): contiguous, ordered, sizes sum to total."""
+    chunks = chunk_plan(total, chunk)
+    assert sum(c.size for c in chunks) == pytest.approx(total, rel=1e-9)
+    cursor = 0.0
+    for i, c in enumerate(chunks):
+        assert c.seq == i
+        assert c.offset == pytest.approx(cursor, rel=1e-9, abs=1e-9)
+        cursor += c.size
+    assert all(c.size <= chunk + 1e-9 for c in chunks)
+
+
+@given(sizes, chunk_sizes, st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_property_reassembly_any_order(total, chunk, rnd):
+    """Delivery in any permutation completes exactly once."""
+    chunks = chunk_plan(total, chunk)
+    shuffled = list(chunks)
+    rnd.shuffle(shuffled)
+    r = Reassembler(chunks)
+    for c in shuffled[:-1]:
+        r.deliver(c)
+        assert not r.complete or len(chunks) == 1
+    r.deliver(shuffled[-1])
+    assert r.complete
+    assert r.missing() == []
+    assert r.bytes_received == pytest.approx(total, rel=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for the workload generators and application kernels."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.units import GB, KB, MB
+from repro.workloads.abrain import ABRAIN_CONFIGS, ABrainConfig, ABrainWorkload
+from repro.workloads.clickstream import clickstream_job, zipf_pages
+from repro.workloads.sensors import sensor_fusion_job
+from repro.workloads.synthetic import fresh_engine, size_sweep, standard_deployment
+
+
+# ----------------------------------------------------------------------
+# A-Brain
+# ----------------------------------------------------------------------
+def test_correlation_block_shape_and_range():
+    rng = np.random.default_rng(1)
+    g = rng.integers(0, 3, size=(100, 8)).astype(float)
+    v = rng.normal(size=(100, 16))
+    block = ABrainWorkload.correlation_block(g, v)
+    assert block.shape == (8, 16)
+    assert np.all(np.abs(block) <= 1.0 + 1e-9)
+
+
+def test_correlation_block_detects_planted_signal():
+    rng = np.random.default_rng(2)
+    g = rng.integers(0, 3, size=(400, 4)).astype(float)
+    v = rng.normal(size=(400, 4)) * 0.3
+    v[:, 0] += g[:, 0]  # plant a strong SNP-0 -> voxel-0 association
+    block = ABrainWorkload.correlation_block(g, v)
+    assert block[0, 0] > 0.8
+    assert abs(block[1, 1]) < 0.3
+
+
+def test_correlation_block_validation():
+    with pytest.raises(ValueError, match="subject axis"):
+        ABrainWorkload.correlation_block(np.zeros((10, 2)), np.zeros((9, 2)))
+    with pytest.raises(ValueError, match="3 subjects"):
+        ABrainWorkload.correlation_block(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_correlation_block_constant_column_safe():
+    g = np.zeros((10, 2))  # zero-variance genotypes
+    v = np.random.default_rng(0).normal(size=(10, 2))
+    block = ABrainWorkload.correlation_block(g, v)
+    assert np.all(np.isfinite(block))
+
+
+def test_abrain_config_totals():
+    cfg = ABrainConfig("x", files_per_site=100, file_size=1 * MB,
+                       map_regions=("NEU", "WEU"))
+    assert cfg.total_bytes == pytest.approx(200 * MB)
+    assert len(ABRAIN_CONFIGS) == 3
+    assert ABRAIN_CONFIGS[2].total_bytes > 100 * GB
+
+
+def test_abrain_site_specs_deterministic():
+    w1 = ABrainWorkload(ABrainConfig("x", files_per_site=10), seed=5)
+    w2 = ABrainWorkload(ABrainConfig("x", files_per_site=10), seed=5)
+    s1 = w1.site_specs()
+    s2 = w2.site_specs()
+    assert [s.partial_files for s in s1] == [s.partial_files for s in s2]
+    assert all(
+        0.9 * 36 * KB <= f <= 1.1 * 36 * KB
+        for s in s1
+        for f in s.partial_files
+    )
+
+
+def test_abrain_synth_partial():
+    w = ABrainWorkload(ABrainConfig("x"), seed=0)
+    block = w.synth_partial(np.random.default_rng(3), snps=8, voxels=8)
+    assert block.shape == (8, 8)
+    # The planted SNP-0 signal stands out against the background.
+    assert np.abs(block[0]).mean() > np.abs(block[1:]).mean()
+
+
+# ----------------------------------------------------------------------
+# Streaming job builders
+# ----------------------------------------------------------------------
+def test_sensor_fusion_job_structure():
+    job = sensor_fusion_job()
+    assert job.site_regions() == ["NEU", "WEU", "EUS"]
+    assert job.aggregation_region == "NUS"
+    assert job.aggregate.name == "mean"
+    assert all(len(s.operators) == 1 for s in job.sites)  # rekey operator
+
+
+def test_sensor_rekey_operator_folds_to_region():
+    job = sensor_fusion_job(site_regions=["NEU"])
+    op = job.sites[0].operators[0]
+    from repro.streaming.events import Record
+
+    out = op.process(Record(1.0, "grid-neu/s0001", 20.0, origin="NEU"))
+    assert out[0].key == "NEU"
+
+
+def test_clickstream_job_structure():
+    job = clickstream_job(n_pages=10)
+    assert job.aggregate.name == "count"
+    assert len(zipf_pages(10)) == 10
+    assert all(len(s.operators) == 1 for s in job.sites)  # bot filter
+    nofilter = clickstream_job(bot_filter=False)
+    assert all(len(s.operators) == 0 for s in nofilter.sites)
+
+
+# ----------------------------------------------------------------------
+# Synthetic scaffolding
+# ----------------------------------------------------------------------
+def test_standard_deployment_spec():
+    spec = standard_deployment()
+    assert sum(spec.values()) == 40
+    assert set(spec) == {"NEU", "WEU", "NUS", "SUS", "EUS", "WUS"}
+    spec["NEU"] = 0  # caller's copy, not the module constant
+    assert standard_deployment()["NEU"] == 8
+
+
+def test_size_sweep():
+    assert len(size_sweep(small=True)) == 3
+    assert size_sweep()[-1] == 8 * GB
+
+
+def test_fresh_engine_is_warm_and_reproducible():
+    e1 = fresh_engine(seed=3, spec={"NEU": 2, "NUS": 2}, learning_phase=120.0)
+    e2 = fresh_engine(seed=3, spec={"NEU": 2, "NUS": 2}, learning_phase=120.0)
+    t1 = e1.monitor.estimated_throughput("NEU", "NUS")
+    t2 = e2.monitor.estimated_throughput("NEU", "NUS")
+    assert t1 == t2
+    assert t1 > 0
