@@ -68,8 +68,13 @@ def link_sla(monitor: MonitoringAgent, src: str, dst: str) -> LinkSLA:
     )
 
 
-def introspection_report(monitor: MonitoringAgent) -> str:
-    """Render the full delivered-performance report."""
+def introspection_report(monitor: MonitoringAgent, observer=None) -> str:
+    """Render the full delivered-performance report.
+
+    ``observer`` (a :class:`repro.obs.Observer`) folds the run's metric
+    registry snapshot into the report; the monitor's own observer is used
+    when it carries an enabled one and none is passed explicitly.
+    """
     lines = [
         "Introspection-as-a-Service — delivered inter-datacenter performance",
         "=" * 68,
@@ -91,4 +96,11 @@ def introspection_report(monitor: MonitoringAgent) -> str:
         )
     if not slas:
         lines.append("(no monitored links)")
+    if observer is None:
+        observer = getattr(monitor, "observer", None)
+    if observer is not None and observer.enabled and len(observer.registry):
+        from repro.obs.exporters import summary_table
+
+        lines.append("")
+        lines.append(summary_table(observer.registry))
     return "\n".join(lines)

@@ -29,12 +29,14 @@ def run_transfer_to_completion(
     start: Callable[[Callable[[], None]], None],
     timeout: float = DAY,
     step: float = 5.0,
+    label: str = "baseline",
 ) -> float:
     """Run ``start(done_callback)`` and advance the sim until it signals.
 
     Returns the elapsed simulated seconds. The pattern keeps baselines
     free of event-loop boilerplate: they just call ``done()`` when their
-    last byte lands.
+    last byte lands. When the engine carries an enabled observer the run
+    is recorded as a ``baseline.transfer`` span named by ``label``.
     """
     flag: dict[str, float | None] = {"done_at": None}
 
@@ -42,10 +44,20 @@ def run_transfer_to_completion(
         flag["done_at"] = engine.sim.now
 
     t0 = engine.sim.now
+    obs = engine.observer
+    span = (
+        obs.start_span("baseline.transfer", label=label)
+        if obs.enabled
+        else None
+    )
     start(_done)
     deadline = t0 + timeout
     while flag["done_at"] is None and engine.sim.now < deadline:
         engine.run_until(min(engine.sim.now + step, deadline))
     if flag["done_at"] is None:
         raise TimeoutError("baseline transfer did not complete before timeout")
-    return flag["done_at"] - t0
+    elapsed = flag["done_at"] - t0
+    if span is not None:
+        span.finish(seconds=elapsed)
+        span.end = flag["done_at"]  # trim the post-completion drain slack
+    return elapsed

@@ -20,12 +20,14 @@ simulated cloud:
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 
 from repro.analysis.introspection import introspection_report
 from repro.analysis.tables import render_table
 from repro.core.dissemination import Disseminator
+from repro.obs import NULL_OBSERVER, Observer
 from repro.simulation.units import GB, KB, MB, TB, format_bytes, format_duration
 from repro.streaming.runtime import GeoStreamRuntime
 from repro.streaming.shipping import SageShipping
@@ -62,11 +64,22 @@ def parse_spec(text: str | None) -> dict[str, int]:
     return spec
 
 
+def _observer(args):
+    """Build (once) the run's observer from the --trace/--metrics flags."""
+    obs = getattr(args, "_observer", None)
+    if obs is None:
+        wants = getattr(args, "trace", None) or getattr(args, "metrics", None)
+        obs = Observer() if wants else NULL_OBSERVER
+        args._observer = obs
+    return obs
+
+
 def _engine(args):
     return fresh_engine(
         seed=args.seed,
         spec=parse_spec(getattr(args, "deploy", None)),
         learning_phase=args.learning,
+        observer=_observer(args),
     )
 
 
@@ -153,7 +166,7 @@ def cmd_disseminate(args) -> int:
 def cmd_introspect(args) -> int:
     engine = _engine(args)
     engine.run_until(engine.sim.now + args.hours * 3600.0)
-    print(introspection_report(engine.monitor))
+    print(introspection_report(engine.monitor, observer=engine.observer))
     return 0
 
 
@@ -173,10 +186,7 @@ def cmd_stream(args) -> int:
         f"{len(runtime.results)} global results, "
         f"WAN {format_bytes(runtime.wan_bytes())}"
     )
-    print(
-        f"latency p50 {stats.p50:.1f}s p95 {stats.p95:.1f}s "
-        f"p99 {stats.p99:.1f}s max {stats.max:.1f}s"
-    )
+    print(stats.describe())
     return 0
 
 
@@ -196,6 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="monitoring learning phase in simulated seconds",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write Prometheus-format metrics of the run to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -243,7 +263,26 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    for path in (args.trace, args.metrics):
+        if path and not os.path.isdir(os.path.dirname(path) or "."):
+            print(f"error: directory does not exist: {path}", file=sys.stderr)
+            return 2
+    rc = _COMMANDS[args.command](args)
+    obs = getattr(args, "_observer", None)
+    if obs is not None and obs.enabled:
+        try:
+            written = obs.export(
+                trace_path=args.trace, metrics_path=args.metrics
+            )
+        except OSError as exc:
+            print(f"error: could not write observability output: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.trace:
+            print(f"trace: {written['spans']} spans -> {args.trace}")
+        if args.metrics:
+            print(f"metrics: {written['series']} series -> {args.metrics}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

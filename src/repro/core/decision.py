@@ -29,6 +29,7 @@ from repro.core.paths import MultiPathSelector, TransferSchema
 from repro.core.time_model import TransferTimeModel
 from repro.core.tradeoff import TradeoffAnalyzer, TransferOption
 from repro.monitor.agent import MonitoringAgent
+from repro.obs import NULL_OBSERVER
 from repro.transfer.plan import RouteAssignment, TransferPlan
 from repro.transfer.service import TransferService
 from repro.transfer.session import TransferSession
@@ -88,6 +89,8 @@ class ManagedTransfer:
         self.on_complete = on_complete
         self.sessions: list[TransferSession] = []
         self.replans = 0
+        #: Observability span covering plan → completion (set by the DM).
+        self.span = None
         self.started_at: float | None = None
         self.completed_at: float | None = None
         self.bytes_confirmed = 0.0
@@ -123,11 +126,21 @@ class DecisionManager:
         monitor: MonitoringAgent,
         transfers: TransferService,
         config: DecisionConfig | None = None,
+        observer=None,
     ) -> None:
         self.env = env
         self.monitor = monitor
         self.transfers = transfers
         self.config = config or DecisionConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        obs = self.observer
+        self._m_plans = obs.counter("decision_plans_total")
+        self._m_replans = obs.counter("decision_replans_total")
+        self._m_transfers = obs.counter("decision_transfers_total")
+        #: Paired per-transfer samples: model prediction vs delivery.
+        self._m_predicted = obs.histogram("decision_predicted_seconds")
+        self._m_achieved = obs.histogram("decision_achieved_seconds")
+        self._m_accuracy = obs.histogram("decision_achieved_over_predicted")
         self.time_model = TransferTimeModel(gain=self.config.gain)
         self.cost_model = CostModel(env.meter.prices)
         self.tradeoff = TradeoffAnalyzer(
@@ -217,6 +230,7 @@ class DecisionManager:
         of each route instance. Healthy VMs are drawn round-robin from the
         deployment pools; the source region must have at least one VM.
         """
+        self._m_plans.inc()
         cfg = self.config
         intr = intrusiveness if intrusiveness is not None else cfg.intrusiveness
         exclude = set(exclude_vms or ())
@@ -344,6 +358,24 @@ class DecisionManager:
             raise ValueError("size must be positive")
         mt = ManagedTransfer(src_region, dst_region, size, on_complete)
         mt.started_at = self.env.sim.now
+        obs = self.observer
+        self._m_transfers.inc()
+        if obs.enabled:
+            strategy = (
+                "fixed-nodes" if n_nodes is not None
+                else "budget" if budget_usd is not None
+                else "deadline" if deadline_s is not None
+                else "knee"
+            )
+            obs.counter("decision_strategy_total", strategy=strategy).inc()
+            mt.span = obs.start_span(
+                "transfer.managed",
+                transfer=mt.transfer_id,
+                src=src_region,
+                dst=dst_region,
+                bytes=size,
+                strategy=strategy,
+            )
         thr = self.monitor.estimated_throughput(src_region, dst_region)
         if thr != thr or thr <= 0:
             # Unmonitored link: plan conservatively with one node.
@@ -450,6 +482,7 @@ class DecisionManager:
             if mt.bytes_confirmed >= mt.size * 0.999:
                 mt.completed_at = self.env.sim.now
                 self._observe_gain(mt, n_nodes)
+                self._observe_outcome(mt)
                 if mt.on_complete is not None:
                     mt.on_complete(mt)
 
@@ -509,6 +542,17 @@ class DecisionManager:
             remaining = session.cancel()
             self._release_plan(session.plan)
             mt.replans += 1
+            self._m_replans.inc()
+            if self.observer.enabled:
+                now = self.env.sim.now
+                self.observer.record_span(
+                    "decision.replan",
+                    now,
+                    now,
+                    transfer=mt.transfer_id,
+                    reason="health" if unhealthy else "performance",
+                    remaining_bytes=remaining,
+                )
             mt.bytes_confirmed += max(0.0, session.size - remaining)
             if remaining <= 0:
                 return
@@ -520,6 +564,21 @@ class DecisionManager:
             self.env.sim.schedule(
                 cfg.replan_interval, self._check, mt, session, n_nodes,
                 intrusiveness, adaptive, multi_dc,
+            )
+
+    def _observe_outcome(self, mt: ManagedTransfer) -> None:
+        """Record predicted-vs-achieved pairs and close the span."""
+        elapsed = mt.elapsed
+        if elapsed and mt.prediction is not None:
+            self._m_predicted.observe(mt.prediction)
+            self._m_achieved.observe(elapsed)
+            if mt.prediction > 0:
+                self._m_accuracy.observe(elapsed / mt.prediction)
+        if mt.span is not None:
+            mt.span.finish(
+                replans=mt.replans,
+                predicted_seconds=mt.prediction,
+                achieved_seconds=elapsed,
             )
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.cloud.deployment import CloudEnvironment
 from repro.core.decision import DecisionConfig, DecisionManager
 from repro.monitor.agent import MonitorConfig, MonitoringAgent
+from repro.obs import NULL_OBSERVER
 from repro.transfer.service import TransferService
 from repro.simulation.units import MINUTE
 
@@ -27,19 +28,28 @@ class SageEngine:
         vm_size: str = "Small",
         monitor_config: MonitorConfig | None = None,
         decision_config: DecisionConfig | None = None,
+        observer=None,
     ) -> None:
         self.env = env
+        #: Observability handle shared by every layer of this engine.
+        #: Defaults to the no-op observer; pass :class:`repro.obs.Observer`
+        #: to record metrics and virtual-time spans.
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.observer.bind_clock(lambda: env.sim.now)
+        env.sim.attach_observer(self.observer)
         if deployment_spec:
             for region, count in sorted(deployment_spec.items()):
                 env.provision(region, vm_size, count)
         self.monitor = MonitoringAgent(
-            env.network, env.deployment, monitor_config
+            env.network, env.deployment, monitor_config,
+            observer=self.observer,
         )
         if env.deployment.size() >= 2 and len(env.deployment.regions()) >= 2:
             self.monitor.watch_all_links()
         self.transfers = TransferService(env, monitor=self.monitor)
         self.decisions = DecisionManager(
-            env, self.monitor, self.transfers, decision_config
+            env, self.monitor, self.transfers, decision_config,
+            observer=self.observer,
         )
 
     def start(self, learning_phase: float = 5 * MINUTE) -> None:

@@ -20,6 +20,7 @@ from repro.cloud.deployment import Deployment
 from repro.cloud.network import FluidNetwork
 from repro.cloud.vm import VM
 from repro.monitor.estimators import Estimator, make_estimator
+from repro.obs import NULL_OBSERVER
 from repro.monitor.history import MetricHistory
 from repro.monitor.linkmap import LinkPerformanceMap
 from repro.monitor.samplers import ActiveProbeSampler, PassiveLinkSampler, Sampler
@@ -59,11 +60,19 @@ class MonitoringAgent:
         network: FluidNetwork,
         deployment: Deployment,
         config: MonitorConfig | None = None,
+        observer=None,
     ) -> None:
         self.network = network
         self.sim = network.sim
         self.deployment = deployment
         self.config = config or MonitorConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        obs = self.observer
+        self._m_samples = obs.counter("monitor_samples_total")
+        self._m_suspended = obs.counter("monitor_samples_suspended_total")
+        #: |estimate - sample| / sample per link sample — the live view of
+        #: how well the estimator strategy tracks the link's weather.
+        self._m_est_err = obs.histogram("monitor_estimator_relative_error")
         self.link_map = LinkPerformanceMap()
         #: Learned aggregate capacity per directed link (bytes/s): the
         #: running peak of observed utilisation, with slow decay so stale
@@ -178,6 +187,7 @@ class MonitoringAgent:
         for key, sampler in self._link_samplers.items():
             if self._suspended(key):
                 self.samples_suspended += 1
+                self._m_suspended.inc()
                 continue
             src, dst = key
             sampler.sample(
@@ -202,6 +212,12 @@ class MonitoringAgent:
 
     def _on_link_sample(self, src: str, dst: str, time: float, value: float) -> None:
         self.samples_taken += 1
+        self._m_samples.inc()
+        if self.observer.enabled and value > 0:
+            # Error of the pre-sample estimate against the fresh sample.
+            est = self.link_map.estimate(src, dst)
+            if est.known:
+                self._m_est_err.observe(abs(est.mean - value) / value)
         self.link_map.observe(src, dst, time, value)
         self._record(f"thr/{src}->{dst}", time, value)
 

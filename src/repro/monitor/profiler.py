@@ -56,6 +56,14 @@ class HistoryProfiler:
     ) -> None:
         if window < 4:
             raise ValueError("window must be >= 4")
+        if not 0.0 < drop_threshold < rise_threshold:
+            raise ValueError(
+                "thresholds must satisfy 0 < drop_threshold < "
+                f"rise_threshold, got drop={drop_threshold!r} "
+                f"rise={rise_threshold!r}"
+            )
+        if variance_threshold <= 0.0:
+            raise ValueError("variance_threshold must be positive")
         self.window = window
         self.drop_threshold = drop_threshold
         self.rise_threshold = rise_threshold

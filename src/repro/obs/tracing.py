@@ -1,0 +1,208 @@
+"""Span-based tracing keyed to virtual simulation time.
+
+Spans cover the life of one unit of work: a batch leaving a site until
+it lands at the aggregator, a window closing until its global result is
+emitted, a managed transfer from plan to completion. Because the
+simulated system is event-driven, most spans are *detached* — started in
+one callback and ended in another — so the tracer supports three styles:
+
+* ``with tracer.span("name"):`` — lexically nested work; the context
+  stack supplies the parent span;
+* ``tracer.start_span("name")`` / ``span.end()`` — detached spans that
+  outlive the starting callback (parent passed explicitly if any);
+* ``tracer.record_span("name", start, end)`` — retroactive spans whose
+  endpoints were already measured (e.g. a window's event-time close and
+  its emission time).
+
+All timestamps come from the bound clock — virtual seconds when attached
+to a :class:`~repro.simulation.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Span:
+    """One traced interval of (virtual) time."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs",
+                 "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs: Any) -> "Span":
+        """End the span at the tracer's current clock reading."""
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._finish(self)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    # Context-manager style for lexically scoped spans.
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self.finished:
+            self.finish()
+
+
+class Tracer:
+    """Collects finished spans; clock-agnostic (bind the simulator's)."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    def _new(
+        self, name: str, parent_id: int | None, start: float,
+        attrs: dict[str, Any],
+    ) -> Span:
+        span = Span(self, self._next_id, parent_id, name, start, attrs)
+        self._next_id += 1
+        return span
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Start a lexically nested span (use as a context manager)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = self._new(name, parent, self._clock(), attrs)
+        self._stack.append(span)
+        return span
+
+    def start_span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> Span:
+        """Start a detached span; it may end in a later callback."""
+        parent_id = parent.span_id if parent is not None else None
+        return self._new(name, parent_id, self._clock(), attrs)
+
+    def record_span(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> Span:
+        """Record an already-measured interval as a finished span."""
+        span = self._new(name, None, start, attrs)
+        span.end = end
+        self.spans.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if span.finished:
+            return
+        span.end = self._clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+
+class NullSpan:
+    """Shared no-op span for the disabled path."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    attrs: dict[str, Any] = {}
+    finished = True
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def finish(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer façade that records nothing and allocates nothing."""
+
+    __slots__ = ()
+    spans: list[Span] = []
+    now = 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def start_span(self, name: str, parent=None, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def record_span(self, name, start, end, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -10,8 +10,10 @@ and can be stopped through the returned :class:`PeriodicTask` handle.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
+from repro.obs import NULL_OBSERVER
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.random import RngRegistry
 
@@ -31,6 +33,22 @@ class Simulator:
         #: Hard cap guarding against accidental infinite self-rescheduling.
         self.max_events = max_events
         self._tracers: list[Callable[[Event], None]] = []
+        self._obs_enabled = False
+        self._m_events = NULL_OBSERVER.counter("sim_events_total")
+        self._m_vtime = NULL_OBSERVER.gauge("sim_virtual_time_seconds")
+        self._m_wall = NULL_OBSERVER.counter("sim_wall_seconds_total")
+
+    def attach_observer(self, observer) -> None:
+        """Register metric handles for the event loop.
+
+        With a disabled observer the handles are shared no-ops and
+        ``run_until`` skips even the wall-clock reads, so the loop stays
+        at its uninstrumented cost.
+        """
+        self._obs_enabled = observer.enabled
+        self._m_events = observer.counter("sim_events_total")
+        self._m_vtime = observer.gauge("sim_virtual_time_seconds")
+        self._m_wall = observer.counter("sim_wall_seconds_total")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -104,12 +122,19 @@ class Simulator:
         """Process events with time ≤ horizon, then set ``now = horizon``."""
         if horizon < self.now:
             raise SimulationError(f"horizon {horizon} < now {self.now}")
+        if self._obs_enabled:
+            wall0 = time.perf_counter()
+            events0 = self.events_processed
         while True:
             next_time = self.queue.peek_time()
             if next_time is None or next_time > horizon:
                 break
             self.step()
         self.now = horizon
+        if self._obs_enabled:
+            self._m_wall.inc(time.perf_counter() - wall0)
+            self._m_events.inc(self.events_processed - events0)
+            self._m_vtime.set(self.now)
 
     def run(self) -> None:
         """Drain the queue completely (use with care: periodic tasks must

@@ -110,17 +110,40 @@ def builtin_aggregate(name: str) -> AggregateFn:
             result=lambda s: s[1] / s[0] if s[0] else float("nan"),
         )
     if name == "var":
-        # Partial state: (count, sum, sum of squares) — population variance.
+        # Partial state: (count, mean, M2) — population variance via the
+        # Welford/Chan update. The naive (count, sum, sum-of-squares)
+        # state cancels catastrophically when the mean is large relative
+        # to the spread, so merged and sequential results diverged.
         return AggregateFn(
             "var",
             zero=lambda: (0, 0.0, 0.0),
-            add=lambda s, v: (s[0] + 1, s[1] + float(v), s[2] + float(v) ** 2),
-            merge=lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
-            result=lambda s: (
-                s[2] / s[0] - (s[1] / s[0]) ** 2 if s[0] else float("nan")
-            ),
+            add=_var_add,
+            merge=_var_merge,
+            result=lambda s: s[2] / s[0] if s[0] else float("nan"),
         )
     raise ValueError(f"unknown aggregate {name!r}")
+
+
+def _var_add(s: tuple, v: float) -> tuple:
+    n, mean, m2 = s
+    v = float(v)
+    n += 1
+    delta = v - mean
+    mean += delta / n
+    return (n, mean, m2 + delta * (v - mean))
+
+
+def _var_merge(a: tuple, b: tuple) -> tuple:
+    na, mean_a, m2a = a
+    nb, mean_b, m2b = b
+    if na == 0:
+        return b
+    if nb == 0:
+        return a
+    n = na + nb
+    delta = mean_b - mean_a
+    mean = mean_a + delta * nb / n
+    return (n, mean, m2a + m2b + delta * delta * na * nb / n)
 
 
 @dataclass(frozen=True)

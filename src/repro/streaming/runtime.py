@@ -52,7 +52,12 @@ class WindowResult:
 
 @dataclass
 class LatencyStats:
-    """Summary of result latencies."""
+    """Summary of result latencies.
+
+    An empty summary (no results emitted) is falsy and carries NaN
+    percentiles; test with ``if stats:`` or format with :meth:`describe`
+    instead of printing raw fields, so ``nan`` never leaks into reports.
+    """
 
     count: int
     mean: float
@@ -62,10 +67,19 @@ class LatencyStats:
     max: float
 
     @classmethod
+    def empty(cls) -> "LatencyStats":
+        """The no-results sentinel (falsy; all percentiles NaN)."""
+        return cls(0, *[float("nan")] * 5)
+
+    @classmethod
     def from_results(cls, results: list[WindowResult]) -> "LatencyStats":
         if not results:
-            return cls(0, *[float("nan")] * 5)
+            return cls.empty()
         lat = np.array([r.latency for r in results])
+        if lat.size == 1:
+            # Degenerate distribution: every quantile is the one sample.
+            value = float(lat[0])
+            return cls(1, value, value, value, value, value)
         return cls(
             count=len(lat),
             mean=float(lat.mean()),
@@ -73,6 +87,18 @@ class LatencyStats:
             p95=float(np.percentile(lat, 95)),
             p99=float(np.percentile(lat, 99)),
             max=float(lat.max()),
+        )
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def describe(self) -> str:
+        """One-line human summary; safe on the empty sentinel."""
+        if not self:
+            return "latency: no results emitted"
+        return (
+            f"latency p50 {self.p50:.1f}s p95 {self.p95:.1f}s "
+            f"p99 {self.p99:.1f}s max {self.max:.1f}s"
         )
 
 
@@ -108,6 +134,24 @@ class SiteRuntime:
         self.records_processed = 0
         self.max_backlog = 0
         self._task = None
+        obs = engine.observer
+        self._obs_on = obs.enabled
+        site = spec.region
+        self._m_ingested = obs.counter(
+            "stream_records_ingested_total", site=site
+        )
+        self._m_processed = obs.counter(
+            "stream_records_processed_total", site=site
+        )
+        self._m_backlog = obs.gauge("stream_backlog_depth", site=site)
+        self._m_wm_lag = obs.gauge(
+            "stream_watermark_lag_seconds", site=site
+        )
+        #: Estimated time for the current backlog to drain at capacity —
+        #: the site's queueing latency contribution this tick.
+        self._m_queue = obs.histogram(
+            "stream_queue_latency_seconds", site=site
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -127,6 +171,8 @@ class SiteRuntime:
         self.records_ingested += len(records)
         self._backlog.extend(records)
         self.max_backlog = max(self.max_backlog, len(self._backlog))
+        if self._obs_on:
+            self._m_ingested.inc(len(records))
 
     # ------------------------------------------------------------------
     def _on_tick(self) -> None:
@@ -146,7 +192,27 @@ class SiteRuntime:
             watermark = min(watermark, self._backlog[0].event_time)
         watermark = max(watermark, self._watermark)
         self._watermark = watermark
-        for partial in self.aggregator.advance_watermark(watermark):
+        partials = self.aggregator.advance_watermark(watermark)
+        if self._obs_on:
+            self._m_processed.inc(processed)
+            self._m_backlog.set(len(self._backlog))
+            self._m_wm_lag.set(now - watermark)
+            self._m_queue.observe(
+                len(self._backlog) / self.capacity_per_tick * self.tick
+            )
+            engine_obs = self.engine.observer
+            for partial in partials:
+                pa = partial.value
+                engine_obs.record_span(
+                    "window.site_close",
+                    pa.window.start,
+                    now,
+                    site=self.spec.region,
+                    key=pa.key,
+                    window_end=pa.window.end,
+                    records=pa.count,
+                )
+        for partial in partials:
             self._emit(partial, now)
         out = self.batcher.maybe_flush(now)
         if out is not None:
@@ -203,6 +269,11 @@ class GlobalAggregator:
         self._emitted: set[tuple[Window, str]] = set()
         #: Aggregator-side windowing for jobs that ship raw records.
         self._raw_aggregator = WindowedAggregator(job.windows, job.aggregate)
+        obs = engine.observer
+        self._obs_on = obs.enabled
+        self._m_results = obs.counter("stream_results_total")
+        self._m_late = obs.counter("stream_late_partials_total")
+        self._m_latency = obs.histogram("stream_window_latency_seconds")
 
     def deliver(self, batch: Batch) -> None:
         now = self.engine.sim.now
@@ -226,6 +297,7 @@ class GlobalAggregator:
         slot = (pa.window, pa.key)
         if slot in self._emitted:
             self.late_partials += 1
+            self._m_late.inc()
             return
         pending = self._pending.get(slot)
         if pending is None:
@@ -268,6 +340,20 @@ class GlobalAggregator:
                 emitted_at=now,
             )
         )
+        if self._obs_on:
+            self._m_results.inc()
+            self._m_latency.observe(now - window.end)
+            # The span runs from the window's event-time close to the
+            # global emission: its duration IS the end-to-end latency.
+            self.engine.observer.record_span(
+                "window.global_emit",
+                window.end,
+                now,
+                key=key,
+                window_start=window.start,
+                records=count,
+                sites=sites,
+            )
 
     def latency_stats(self) -> LatencyStats:
         return LatencyStats.from_results(self.results)

@@ -23,6 +23,53 @@ from repro.transfer.plan import TransferPlan
 DeliveryCallback = Callable[[Batch], None]
 
 
+class _ShipInstruments:
+    """Shared observability plumbing for shipping backends.
+
+    One span per batch covers ship → arrival; its duration is the
+    wide-area delivery latency and ``bps`` the achieved link throughput.
+    """
+
+    __slots__ = ("_obs", "_on", "_backend", "_link", "_m_bytes", "_m_batches")
+
+    def __init__(self, engine: SageEngine, backend: str, src: str, dst: str):
+        obs = engine.observer
+        self._obs = obs
+        self._on = obs.enabled
+        self._backend = backend
+        self._link = f"{src}->{dst}"
+        self._m_bytes = obs.counter(
+            "ship_bytes_total", backend=backend, link=self._link
+        )
+        self._m_batches = obs.counter(
+            "ship_batches_total", backend=backend, link=self._link
+        )
+
+    def wrap(
+        self, batch: Batch, on_delivered: DeliveryCallback
+    ) -> DeliveryCallback:
+        """Count the batch; return a delivery callback closing its span."""
+        if not self._on:
+            return on_delivered
+        self._m_bytes.inc(batch.size_bytes)
+        self._m_batches.inc()
+        span = self._obs.start_span(
+            "ship.batch",
+            backend=self._backend,
+            link=self._link,
+            bytes=batch.size_bytes,
+            records=len(batch.records),
+        )
+
+        def _delivered(b: Batch) -> None:
+            span.finish()
+            if span.duration > 0:
+                span.attrs["bps"] = batch.size_bytes / span.duration
+            on_delivered(b)
+
+        return _delivered
+
+
 class ShippingBackend(Protocol):
     """Moves batches from one site to the aggregation site."""
 
@@ -44,10 +91,14 @@ class DirectShipping:
         self.streams = streams
         self.bytes_shipped = 0.0
         self.batches_shipped = 0
+        self._inst = _ShipInstruments(
+            engine, "direct", src_vm.region_code, dst_vm.region_code
+        )
 
     def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
+        on_delivered = self._inst.wrap(batch, on_delivered)
         self.engine.transfers.execute(
             TransferPlan.direct(self.src_vm, self.dst_vm, streams=self.streams,
                                 label="ship-direct"),
@@ -102,6 +153,7 @@ class SageShipping:
         self.plans_built = 0
         self._plan: TransferPlan | None = None
         self._plan_expiry = -1.0
+        self._inst = _ShipInstruments(engine, "sage", src_region, dst_region)
 
     def _current_plan(self) -> TransferPlan:
         now = self.engine.sim.now
@@ -128,6 +180,7 @@ class SageShipping:
     def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
+        on_delivered = self._inst.wrap(batch, on_delivered)
 
         def _start() -> None:
             self.engine.transfers.execute(
@@ -192,6 +245,14 @@ class UdpShipping:
         self._rng = engine.sim.rngs.get(
             f"udp/{src_vm.region_code}->{dst_vm.region_code}"
         )
+        self._inst = _ShipInstruments(
+            engine, "udp", src_vm.region_code, dst_vm.region_code
+        )
+        self._m_lost = engine.observer.counter(
+            "ship_batches_lost_total",
+            backend="udp",
+            link=f"{src_vm.region_code}->{dst_vm.region_code}",
+        )
 
     def _loss_probability(self) -> float:
         """Loss grows as the link's weather worsens."""
@@ -205,11 +266,13 @@ class UdpShipping:
     def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
+        on_delivered = self._inst.wrap(batch, on_delivered)
         lost = self._rng.random() < self._loss_probability()
 
         def _done(_session) -> None:
             if lost:
                 self.batches_lost += 1
+                self._m_lost.inc()
             else:
                 on_delivered(batch)
 
@@ -249,10 +312,14 @@ class BlobShipping:
         self.bytes_shipped = 0.0
         self.batches_shipped = 0
         self._seq = 0
+        self._inst = _ShipInstruments(
+            engine, "blob", src_vm.region_code, dst_vm.region_code
+        )
 
     def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
+        on_delivered = self._inst.wrap(batch, on_delivered)
         name = f"ship/{self.src_vm.region_code}/{self._seq}"
         self._seq += 1
 

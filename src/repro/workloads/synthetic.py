@@ -40,6 +40,7 @@ def fresh_engine(
     glitches: bool = True,
     monitor_config: MonitorConfig | None = None,
     decision_config: DecisionConfig | None = None,
+    observer=None,
 ) -> SageEngine:
     """A new simulated cloud + warmed-up SAGE engine."""
     env = CloudEnvironment(
@@ -53,6 +54,7 @@ def fresh_engine(
         vm_size=vm_size,
         monitor_config=monitor_config,
         decision_config=decision_config,
+        observer=observer,
     )
     engine.start(learning_phase=learning_phase)
     return engine

@@ -92,3 +92,62 @@ def test_cmd_stream(capsys):
     out = capsys.readouterr().out
     assert "ingested" in out
     assert "latency p50" in out
+
+
+# ----------------------------------------------------------------------
+# Observability flags
+# ----------------------------------------------------------------------
+def test_cmd_transfer_trace_writes_valid_jsonl(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "transfer.jsonl"
+    assert (
+        main(
+            FAST
+            + ["--trace", str(trace), "transfer", "NEU", "NUS", "100MB",
+               "--nodes", "2"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"-> {trace}" in out
+    lines = trace.read_text().strip().splitlines()
+    assert lines
+    spans = [json.loads(line) for line in lines]
+    for span in spans:
+        assert {"span_id", "parent_id", "name", "start", "end", "attrs"} <= (
+            span.keys()
+        )
+        assert span["end"] >= span["start"]
+    assert any(s["name"] == "transfer.managed" for s in spans)
+
+
+def test_cmd_stream_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "stream.jsonl"
+    prom = tmp_path / "stream.prom"
+    assert (
+        main(
+            FAST
+            + ["--trace", str(trace), "--metrics", str(prom),
+               "stream", "--workload", "sensors", "--duration", "60"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "trace:" in out and "metrics:" in out
+    text = prom.read_text()
+    assert "# TYPE sim_events_total counter" in text
+    assert "stream_window_latency_seconds" in text
+    assert trace.read_text().strip()
+
+
+def test_cmd_introspect_with_metrics_folds_registry(tmp_path, capsys):
+    prom = tmp_path / "i.prom"
+    assert (
+        main(FAST + ["--metrics", str(prom), "introspect", "--hours", "0.5"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Introspection-as-a-Service" in out
+    assert "Run metrics" in out
+    assert "monitor_samples_total" in prom.read_text()

@@ -88,6 +88,40 @@ def test_profiler_validation():
         HistoryProfiler(window=2)
 
 
+@pytest.mark.parametrize(
+    "drop,rise",
+    [(1.5, 0.65), (0.8, 0.8), (0.0, 1.5), (-0.1, 1.5)],
+)
+def test_profiler_rejects_inverted_thresholds(drop, rise):
+    with pytest.raises(ValueError):
+        HistoryProfiler(drop_threshold=drop, rise_threshold=rise)
+
+
+def test_profiler_rejects_nonpositive_variance_threshold():
+    with pytest.raises(ValueError):
+        HistoryProfiler(variance_threshold=0.0)
+
+
+def test_high_variance_detected_alongside_level_shift():
+    """Regression: a window can be both shifted and noisy — the
+    high-variance check must still fire while ``in_anomaly`` is set by
+    the level-shift branch."""
+    rng = np.random.default_rng(9)
+    quiet = 10.0 + rng.normal(0, 0.05, 200)
+    # Sustained drop to 40% of baseline AND violent in-window noise.
+    shifted_noisy = np.abs(4.0 + rng.normal(0, 3.5, 200))
+    values = np.concatenate([quiet, shifted_noisy])
+    anomalies = HistoryProfiler(window=25).detect_anomalies(
+        "x", history_from(values)
+    )
+    kinds = {a.kind for a in anomalies}
+    assert "level-drop" in kinds
+    assert "high-variance" in kinds
+    hv = [a for a in anomalies if a.kind == "high-variance"]
+    assert all(a.magnitude > 0.5 for a in hv)
+    assert all(a.start_time >= 200 * 60 * 0.9 for a in hv)
+
+
 def test_report_renders():
     rng = np.random.default_rng(4)
     histories = {

@@ -1,0 +1,151 @@
+"""End-to-end observability: instrumented engine + streaming runtime.
+
+The headline acceptance check lives here: the ``window.global_emit``
+spans recorded during a streaming run must reconstruct the same
+end-to-end latency distribution as :class:`LatencyStats` computes from
+the emitted results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+from repro.obs import Observer
+from repro.obs.exporters import read_trace_jsonl
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import builtin_aggregate
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import SageShipping
+from repro.streaming.sources import PoissonSource
+from repro.streaming.windows import TumblingWindows
+
+
+def make_engine(observer, seed=13):
+    env = CloudEnvironment(seed=seed, variability_sigma=0.0, glitches=False)
+    engine = SageEngine(
+        env,
+        deployment_spec={"NEU": 3, "WEU": 3, "NUS": 3},
+        observer=observer,
+    )
+    engine.start(learning_phase=120.0)
+    return engine
+
+
+def make_job(rate=200.0, sites=("NEU", "WEU")):
+    return StreamJob(
+        name="obs-job",
+        sites=[
+            SiteSpec(
+                region,
+                [PoissonSource(f"src-{region}", rate=rate, keys=["k"])],
+            )
+            for region in sites
+        ],
+        aggregation_region="NUS",
+        windows=TumblingWindows(10.0),
+        aggregate=builtin_aggregate("count"),
+    )
+
+
+@pytest.fixture(scope="module")
+def run():
+    obs = Observer()
+    engine = make_engine(obs)
+    runtime = GeoStreamRuntime(
+        engine, make_job(), SageShipping.factory(n_nodes=2)
+    )
+    runtime.run_for(80.0)
+    return obs, engine, runtime
+
+
+def test_window_spans_reconstruct_latency_stats(run):
+    obs, _engine, runtime = run
+    stats = runtime.latency_stats()
+    spans = obs.tracer.find("window.global_emit")
+    assert len(spans) == len(runtime.results) == stats.count > 0
+    latencies = np.array([s.end - s.start for s in spans])
+    assert float(np.percentile(latencies, 50)) == pytest.approx(stats.p50)
+    assert float(np.percentile(latencies, 95)) == pytest.approx(stats.p95)
+    assert float(np.percentile(latencies, 99)) == pytest.approx(stats.p99)
+    assert float(latencies.max()) == pytest.approx(stats.max)
+    assert float(latencies.mean()) == pytest.approx(stats.mean)
+    # The registry histogram saw the same distribution.
+    hist = obs.registry.histogram("stream_window_latency_seconds")
+    assert hist.count == stats.count
+    assert hist.percentile(50) == pytest.approx(stats.p50)
+
+
+def test_site_and_ship_instrumentation(run):
+    obs, _engine, runtime = run
+    snap = obs.registry.snapshot()
+    for site in ("NEU", "WEU"):
+        ingested = snap[f'stream_records_ingested_total{{site="{site}"}}']
+        processed = snap[f'stream_records_processed_total{{site="{site}"}}']
+        assert ingested.value == runtime.sites[site].records_ingested
+        assert processed.value == runtime.sites[site].records_processed
+    ship_spans = obs.tracer.find("ship.batch")
+    assert ship_spans and all(s.finished for s in ship_spans)
+    shipped = sum(
+        v.value
+        for k, v in snap.items()
+        if k.startswith("ship_bytes_total")
+    )
+    assert shipped == pytest.approx(runtime.wan_bytes())
+    # Site-side window-close spans were recorded too.
+    assert obs.tracer.find("window.site_close")
+
+
+def test_monitor_and_sim_metrics(run):
+    obs, engine, _runtime = run
+    snap = obs.registry.snapshot()
+    assert snap["monitor_samples_total"].value == engine.monitor.samples_taken
+    assert snap["sim_events_total"].value == pytest.approx(
+        engine.sim.events_processed
+    )
+    assert snap["sim_virtual_time_seconds"].value == engine.sim.now
+    assert snap["sim_wall_seconds_total"].value > 0
+    err = snap["monitor_estimator_relative_error"]
+    assert err.count > 0 and err.p50 >= 0
+
+
+def test_decision_predicted_vs_achieved_pairing():
+    obs = Observer()
+    engine = make_engine(obs, seed=17)
+    mt = engine.decisions.transfer("NEU", "NUS", 50e6, n_nodes=2)
+    while not mt.done:
+        engine.run_until(engine.sim.now + 10)
+    snap = obs.registry.snapshot()
+    assert snap["decision_transfers_total"].value == 1
+    assert snap["decision_predicted_seconds"].count == 1
+    assert snap["decision_achieved_seconds"].count == 1
+    ratio = obs.registry.histogram("decision_achieved_over_predicted")
+    assert ratio.count == 1 and ratio.values[0] > 0
+    strategy = snap['decision_strategy_total{strategy="fixed-nodes"}']
+    assert strategy.value == 1
+    (span,) = obs.tracer.find("transfer.managed")
+    assert span.finished
+    assert span.duration == pytest.approx(mt.elapsed)
+    assert span.attrs["achieved_seconds"] == pytest.approx(mt.elapsed)
+    assert snap["decision_plans_total"].value >= 1
+
+
+def test_disabled_observer_records_nothing():
+    env = CloudEnvironment(seed=13, variability_sigma=0.0, glitches=False)
+    engine = SageEngine(env, deployment_spec={"NEU": 2, "NUS": 2})
+    engine.start(learning_phase=60.0)
+    assert not engine.observer.enabled
+    assert engine.observer.registry.snapshot() == {}
+    assert len(engine.observer.tracer) == 0
+
+
+def test_export_round_trip_from_run(run, tmp_path):
+    obs, _engine, _runtime = run
+    trace = tmp_path / "run.jsonl"
+    prom = tmp_path / "run.prom"
+    written = obs.export(trace_path=str(trace), metrics_path=str(prom))
+    assert written["spans"] == len(obs.tracer.spans)
+    assert written["series"] == len(obs.registry.snapshot())
+    back = read_trace_jsonl(str(trace))
+    assert len(back) == written["spans"]
+    assert "# TYPE" in prom.read_text()

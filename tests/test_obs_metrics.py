@@ -1,0 +1,165 @@
+"""Tests for the metrics half of the observability layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_OBSERVER,
+    MetricsRegistry,
+    Observer,
+)
+from repro.obs.exporters import prometheus_text, summary_table
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    # Same name + labels → same handle.
+    assert reg.counter("requests_total") is c
+
+
+def test_labels_split_series():
+    reg = MetricsRegistry()
+    a = reg.counter("bytes_total", site="NEU")
+    b = reg.counter("bytes_total", site="WEU")
+    assert a is not b
+    a.inc(10)
+    assert b.value == 0
+    assert len(reg) == 2
+
+
+def test_gauge_tracks_envelope():
+    reg = MetricsRegistry()
+    g = reg.gauge("backlog")
+    g.set(5.0)
+    g.set(1.0)
+    g.set(3.0)
+    snap = g.snapshot()
+    assert snap.value == 3.0
+    assert snap.min == 1.0
+    assert snap.max == 5.0
+    assert snap.count == 3
+
+
+def test_histogram_percentiles_match_numpy():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(0.0, 1.0, size=500)
+    reg = MetricsRegistry()
+    h = reg.histogram("latency")
+    for v in values:
+        h.observe(float(v))
+    snap = h.snapshot()
+    assert snap.count == 500
+    assert snap.sum == pytest.approx(values.sum())
+    for q, got in ((50, snap.p50), (95, snap.p95), (99, snap.p99)):
+        assert got == pytest.approx(np.percentile(values, q))
+    assert h.percentile(75) == pytest.approx(np.percentile(values, 75))
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge
+# ----------------------------------------------------------------------
+def test_snapshot_keys_render_labels():
+    reg = MetricsRegistry()
+    reg.counter("a_total", link="NEU->NUS").inc(4)
+    reg.counter("plain").inc()
+    snap = reg.snapshot()
+    assert snap['a_total{link="NEU->NUS"}'].value == 4
+    assert snap["plain"].value == 1
+
+
+def test_registry_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("n").inc(1)
+    b.counter("n").inc(2)
+    b.counter("only_b").inc(5)
+    a.gauge("g").set(1.0)
+    b.gauge("g").set(9.0)
+    for v in (1.0, 2.0):
+        a.histogram("h").observe(v)
+    for v in (3.0, 4.0):
+        b.histogram("h").observe(v)
+
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["n"].value == 3
+    assert snap["only_b"].value == 5
+    assert snap["g"].value == 9.0
+    assert snap["g"].max == 9.0
+    assert snap["h"].count == 4
+    assert snap["h"].sum == pytest.approx(10.0)
+
+
+def test_merge_kind_conflict_raises():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("x")
+    b.gauge("x")
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# Null (disabled) path
+# ----------------------------------------------------------------------
+def test_null_observer_hands_out_shared_singletons():
+    assert not NULL_OBSERVER.enabled
+    assert NULL_OBSERVER.counter("anything", lbl="x") is NULL_COUNTER
+    assert NULL_OBSERVER.gauge("g") is NULL_GAUGE
+    assert NULL_OBSERVER.histogram("h") is NULL_HISTOGRAM
+    # All no-ops; nothing recorded anywhere.
+    NULL_COUNTER.inc(5)
+    NULL_GAUGE.set(3.0)
+    NULL_HISTOGRAM.observe(1.0)
+    assert NULL_COUNTER.value == 0.0
+    assert math.isnan(NULL_HISTOGRAM.percentile(50))
+    assert NULL_OBSERVER.registry.snapshot() == {}
+    assert NULL_OBSERVER.export() == {"spans": 0, "series": 0}
+
+
+# ----------------------------------------------------------------------
+# Exposition formats
+# ----------------------------------------------------------------------
+def test_prometheus_text_format():
+    obs = Observer()
+    obs.counter("events_total").inc(3)
+    obs.gauge("depth", site="NEU").set(7.0)
+    h = obs.histogram("lat_seconds")
+    for v in range(1, 101):
+        h.observe(float(v))
+    text = prometheus_text(obs.registry)
+    assert "# TYPE events_total counter" in text
+    assert "events_total 3.0" in text
+    assert "# TYPE depth gauge" in text
+    assert 'depth{site="NEU"} 7.0' in text
+    assert "# TYPE lat_seconds summary" in text
+    assert 'lat_seconds{quantile="0.5"}' in text
+    assert "lat_seconds_count 100" in text
+
+
+def test_summary_table_renders():
+    obs = Observer()
+    obs.counter("c").inc(2)
+    obs.histogram("h").observe(1.5)
+    table = summary_table(obs.registry)
+    assert "metric" in table and "c" in table and "h" in table
+    assert summary_table(MetricsRegistry()).endswith("(no metrics recorded)")

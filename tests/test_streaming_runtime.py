@@ -152,3 +152,30 @@ def test_throughput_accessor():
 def test_latency_stats_empty():
     stats = LatencyStats.from_results([])
     assert stats.count == 0
+    assert not stats  # the empty sentinel is falsy
+    assert stats.describe() == "latency: no results emitted"
+    empty = LatencyStats.empty()
+    assert empty.count == 0 and not empty
+    import math
+
+    assert math.isnan(empty.p99)
+
+
+def test_latency_stats_single_result():
+    from repro.streaming.runtime import WindowResult
+    from repro.streaming.windows import Window
+
+    result = WindowResult(
+        window=Window(0.0, 10.0),
+        key="k",
+        value=1,
+        record_count=3,
+        sites=1,
+        emitted_at=14.0,
+    )
+    stats = LatencyStats.from_results([result])
+    assert stats
+    assert stats.count == 1
+    # Degenerate distribution: every percentile is the one latency.
+    assert stats.p50 == stats.p95 == stats.p99 == stats.max == 4.0
+    assert "p99 4.0s" in stats.describe()
