@@ -13,6 +13,7 @@ simulated cloud:
    $ sage disseminate NEU WEU,EUS,NUS 500MB    # multicast replication
    $ sage introspect --hours 2                 # delivered-SLA report
    $ sage stream --workload sensors --duration 300
+   $ sage chaos --seed 7 --duration 240        # fault-recovery report
 
 (entry point: ``python -m repro.cli`` or the ``sage`` console script).
 """
@@ -190,6 +191,19 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import run_chaos
+
+    result = run_chaos(
+        seed=args.seed,
+        duration=args.duration,
+        inject=not args.no_faults,
+        observer=_observer(args),
+    )
+    print(result.describe())
+    return 0 if result.clean else 1
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -248,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=("sensors", "clicks"), default="sensors")
     p.add_argument("--duration", type=float, default=120.0)
 
+    p = sub.add_parser(
+        "chaos",
+        help="run the scripted fault-recovery scenario and print the report",
+    )
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="run the identical workload without injecting faults",
+    )
+
     return parser
 
 
@@ -258,6 +283,7 @@ _COMMANDS = {
     "disseminate": cmd_disseminate,
     "introspect": cmd_introspect,
     "stream": cmd_stream,
+    "chaos": cmd_chaos,
 }
 
 

@@ -51,9 +51,16 @@ INTRA_CAPACITY = 2000 * MB
 
 
 class WanLink:
-    """One ordered inter-datacenter link with time-varying capacity."""
+    """One ordered inter-datacenter link with time-varying capacity.
 
-    __slots__ = ("src", "dst", "base_capacity", "process", "rtt")
+    Besides the stochastic weather process, a link carries two *fault*
+    controls used by the injector: ``up`` (False = blackhole — the link
+    delivers nothing until restored) and ``fault_scale`` (a capacity
+    multiplier for flapping/brownout faults).
+    """
+
+    __slots__ = ("src", "dst", "base_capacity", "process", "rtt", "up",
+                 "fault_scale")
 
     def __init__(
         self,
@@ -68,10 +75,27 @@ class WanLink:
         self.base_capacity = base_capacity
         self.rtt = rtt
         self.process = process or ConstantProcess()
+        self.up: bool = True
+        self.fault_scale: float = 1.0
 
     def capacity(self, t: float) -> float:
         """Deliverable capacity (bytes/s) at virtual time ``t``."""
-        return self.base_capacity * self.process.factor(t)
+        if not self.up:
+            return 0.0
+        return self.base_capacity * self.process.factor(t) * self.fault_scale
+
+    def set_down(self) -> None:
+        """Blackhole the link: zero deliverable capacity until restored."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def scale_capacity(self, factor: float) -> None:
+        """Apply a fault multiplier (1.0 = nominal) on top of the weather."""
+        if factor < 0:
+            raise ValueError(f"fault scale must be >= 0, got {factor}")
+        self.fault_scale = factor
 
     @property
     def key(self) -> tuple[str, str]:
@@ -201,6 +225,11 @@ class Flow:
         self.started_at: float | None = None
         self.completed_at: float | None = None
         self.cancelled = False
+        #: Virtual time since which the flow's allocated rate has been
+        #: (numerically) zero; None while the flow is moving. Stalls are
+        #: the observable signature of a crashed VM or blackholed link.
+        self.stalled_since: float | None = None
+        self._stall_notified = False
 
     @property
     def src(self) -> VM:
@@ -261,6 +290,7 @@ class FluidNetwork:
         tcp_window: float = 128 * KB,
         refresh_interval: float = 10.0,
         relay_efficiency: float = 0.95,
+        stall_timeout: float = 30.0,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -269,6 +299,10 @@ class FluidNetwork:
         #: Per-WAN-hop forwarding efficiency of store-and-forward relays
         #: (serialisation + copy overhead at the relay VM).
         self.relay_efficiency = relay_efficiency
+        #: A flow whose allocated rate stays zero this long is *stalled*
+        #: (crashed VM / blackholed link); ``on_stall`` fires once per flow.
+        self.stall_timeout = stall_timeout
+        self.on_stall: Callable[[Flow], None] | None = None
         self.flows: set[Flow] = set()
         self.bytes_completed = 0.0
         self.flows_completed = 0
@@ -300,6 +334,25 @@ class FluidNetwork:
         """Instantaneous allocated rate of a flow, bytes/s."""
         return flow.rate if flow in self.flows else 0.0
 
+    def notify_change(self) -> None:
+        """Re-run the allocation after an external capacity change.
+
+        Call after crashing/restoring a VM or taking a link down/up so
+        flow rates react immediately instead of at the next refresh.
+        """
+        self._recompute()
+
+    def stalled_flows(self, min_duration: float | None = None) -> list[Flow]:
+        """Active flows whose rate has been zero for at least
+        ``min_duration`` seconds (default: the network's stall timeout)."""
+        timeout = self.stall_timeout if min_duration is None else min_duration
+        now = self.sim.now
+        return [
+            f
+            for f in self.flows
+            if f.stalled_since is not None and now - f.stalled_since >= timeout
+        ]
+
     def link_utilization(self, src: str, dst: str) -> float:
         """Sum of current rates of flows crossing a WAN link."""
         return sum(
@@ -327,7 +380,7 @@ class FluidNetwork:
                 weather = min(1.0, link.process.factor(now))
                 cap = min(cap, flow.streams * self.tcp_window / link.rtt * weather)
         for vm in flow.path:
-            cap = min(cap, flow.intrusiveness * vm.size.nic_bytes_per_s * vm.health)
+            cap = min(cap, flow.intrusiveness * vm.uplink_capacity)
         if n_wan > 1:
             cap *= self.relay_efficiency ** (n_wan - 1)
         return cap
@@ -464,7 +517,30 @@ class FluidNetwork:
         self._settle()
         self._complete_finished()
         self._allocate()
+        self._track_stalls()
         self._schedule_next()
+
+    def _track_stalls(self) -> None:
+        """Update per-flow stall clocks and fire ``on_stall`` once each."""
+        now = self.sim.now
+        timed_out: list[Flow] = []
+        for f in self.flows:
+            if f.rate > _EPS:
+                f.stalled_since = None
+                f._stall_notified = False
+            elif f.stalled_since is None:
+                f.stalled_since = now
+            elif (
+                not f._stall_notified
+                and now - f.stalled_since >= self.stall_timeout
+            ):
+                f._stall_notified = True
+                timed_out.append(f)
+        if timed_out and self.on_stall is not None:
+            # Deliver out-of-band: handlers may cancel flows, which would
+            # re-enter the allocation we are in the middle of.
+            for f in timed_out:
+                self.sim.schedule(0.0, self.on_stall, f)
 
     def _schedule_next(self) -> None:
         if self._completion_event is not None:

@@ -46,9 +46,15 @@ class VM:
     NIC and CPU capacity. Experiments inject degradations (multi-tenant
     noisy neighbours, failing hosts) by lowering it; the environment-aware
     scheduler reacts, the naive baselines do not.
+
+    Distinct from degradation, a VM can *fail outright* (host crash,
+    instance reboot): a failed VM sends no heartbeats, answers no health
+    probes, and moves zero bytes until :meth:`restore` brings it back.
     """
 
-    __slots__ = ("vm_id", "region_code", "size", "health", "cpu_load", "tags")
+    __slots__ = (
+        "vm_id", "region_code", "size", "health", "cpu_load", "tags", "failed"
+    )
 
     def __init__(self, vm_id: str, region_code: str, size: VMSize) -> None:
         self.vm_id = vm_id
@@ -58,15 +64,25 @@ class VM:
         #: Fraction of CPU currently consumed by application work [0, 1].
         self.cpu_load: float = 0.0
         self.tags: set[str] = set()
+        #: Hard-failure flag: a crashed VM has zero capacity everywhere.
+        self.failed: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.failed
 
     @property
     def uplink_capacity(self) -> float:
         """Effective NIC uplink in bytes/s, after health degradation."""
+        if self.failed:
+            return 0.0
         return self.size.nic_bytes_per_s * self.health
 
     @property
     def downlink_capacity(self) -> float:
         """Effective NIC downlink in bytes/s, after health degradation."""
+        if self.failed:
+            return 0.0
         return self.size.nic_bytes_per_s * self.health
 
     def degrade(self, health: float) -> None:
@@ -75,7 +91,13 @@ class VM:
             raise ValueError(f"health must be in (0, 1], got {health}")
         self.health = health
 
+    def fail(self) -> None:
+        """Hard-crash the VM: no heartbeats, no capacity, no probes."""
+        self.failed = True
+
     def restore(self) -> None:
+        """Bring the VM back at nominal health (covers crash and degrade)."""
+        self.failed = False
         self.health = 1.0
 
     def __repr__(self) -> str:

@@ -117,6 +117,22 @@ class ManagedTransfer:
         return self.size / el if el else 0.0
 
 
+@dataclass
+class _ActiveRun:
+    """One live (session, parameters) pair of a managed transfer —
+    what a replan (periodic or detector-driven) needs to relaunch."""
+
+    mt: ManagedTransfer
+    session: TransferSession
+    n_nodes: int
+    intrusiveness: float | None
+    adaptive: bool
+    multi_dc: bool | None
+
+    def finished(self) -> bool:
+        return self.session.done or self.session.cancelled or self.mt.done
+
+
 class DecisionManager:
     """The DM of the three-agent architecture."""
 
@@ -151,6 +167,41 @@ class DecisionManager:
         )
         self._busy_vms: set[str] = set()
         self._gain_observations: list[tuple[int, float]] = []
+        #: Heartbeat failure detector (attached by the engine); suspected
+        #: VMs are excluded from plans and trigger immediate re-planning.
+        self.detector = None
+        self._runs: list[_ActiveRun] = []
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def attach_detector(self, detector) -> None:
+        """Wire a failure detector: suspected VMs force immediate replans."""
+        self.detector = detector
+        detector.on_suspect(self._on_vm_suspected)
+
+    def _suspected_ids(self) -> set[str]:
+        return set(self.detector.suspected) if self.detector is not None else set()
+
+    def _on_vm_suspected(self, vm: VM) -> None:
+        """A VM was declared dead: replan every transfer riding on it.
+
+        Unlike the periodic health check, this fires the moment the
+        detector's timeout expires, so in-flight sessions do not sit
+        stalled until the next ``replan_interval`` boundary. Cancelling
+        the session returns the unacknowledged bytes, which the relaunch
+        re-sends over a plan that excludes every suspected VM.
+        """
+        for run in list(self._runs):
+            if run.finished():
+                continue
+            on_plan = any(
+                v.vm_id == vm.vm_id
+                for route in run.session.plan.routes
+                for v in route.path
+            )
+            if on_plan and run.mt.replans < self.config.max_replans:
+                self._replan(run, self._suspected_ids(), reason="crash")
 
     # ------------------------------------------------------------------
     # Planning
@@ -205,11 +256,13 @@ class DecisionManager:
 
     def _healthy_vms(self, region: str, exclude: set[str]) -> list[VM]:
         cfg = self.config
+        suspected = self._suspected_ids()
         vms = [
             vm
             for vm in self.env.deployment.vms(region)
             if vm.vm_id not in exclude
             and vm.vm_id not in self._busy_vms
+            and vm.vm_id not in suspected
             and self.monitor.node_health(vm) >= cfg.health_threshold
         ]
         return vms
@@ -260,15 +313,29 @@ class DecisionManager:
             )
         return TransferPlan(routes, label=label)
 
-    def _pool_cycler(self, region: str, exclude: set[str]):
+    def _region_pool(self, region: str, exclude: set[str]) -> list[VM]:
+        """Usable VMs of a region, degrading gracefully under pressure:
+        healthy-and-free first, then any live non-excluded VM (degraded
+        or reserved beats nothing), then — every VM of the region down —
+        anything not excluded (the plan will stall until a restart; the
+        stall detector and detector-driven replans recover it)."""
         pool = self._healthy_vms(region, exclude)
         if not pool:
-            # Health emergency: fall back to any non-excluded VM.
+            pool = [
+                vm
+                for vm in self.env.deployment.vms(region)
+                if vm.vm_id not in exclude and vm.alive
+            ]
+        if not pool:
             pool = [
                 vm
                 for vm in self.env.deployment.vms(region)
                 if vm.vm_id not in exclude
             ]
+        return pool
+
+    def _pool_cycler(self, region: str, exclude: set[str]):
+        pool = self._region_pool(region, exclude)
         return itertools.cycle(pool) if pool else None
 
     def _materialise(
@@ -321,8 +388,8 @@ class DecisionManager:
         exclude: set[str],
     ) -> list[RouteAssignment]:
         cfg = self.config
-        senders = self._healthy_vms(src_region, exclude)
-        receivers = self._healthy_vms(dst_region, exclude)
+        senders = self._region_pool(src_region, exclude)
+        receivers = self._region_pool(dst_region, exclude)
         if not senders or not receivers:
             return []
         n = max(1, min(n_nodes, len(senders)))
@@ -472,12 +539,10 @@ class DecisionManager:
             allow_multi_dc=multi_dc,
         )
         mt.schema_history.append(plan.describe())
-        for route in plan.routes:
-            for vm in route.path:
-                self._busy_vms.add(vm.vm_id)
+        self.reserve_plan(plan)
 
         def _done(session: TransferSession) -> None:
-            self._release_plan(plan)
+            self.release_plan(plan)
             mt.bytes_confirmed += session.size
             if mt.bytes_confirmed >= mt.size * 0.999:
                 mt.completed_at = self.env.sim.now
@@ -488,83 +553,101 @@ class DecisionManager:
 
         session = self.transfers.execute(plan, remaining, on_complete=_done)
         mt.sessions.append(session)
+        run = _ActiveRun(mt, session, n_nodes, intrusiveness, adaptive, multi_dc)
+        self._runs.append(run)
         if adaptive:
             self.env.sim.schedule(
-                self.config.replan_interval,
-                self._check,
-                mt,
-                session,
-                n_nodes,
-                intrusiveness,
-                adaptive,
-                multi_dc,
+                self.config.replan_interval, self._check, run
             )
 
-    def _release_plan(self, plan: TransferPlan) -> None:
+    # ------------------------------------------------------------------
+    # Plan VM reservation (shared with the streaming shipping layer)
+    # ------------------------------------------------------------------
+    def reserve_plan(self, plan: TransferPlan) -> TransferPlan:
+        """Mark a plan's VMs busy so concurrent plans route around them."""
+        for route in plan.routes:
+            for vm in route.path:
+                self._busy_vms.add(vm.vm_id)
+        return plan
+
+    def release_plan(self, plan: TransferPlan | None) -> None:
+        """Release a plan's VM reservations (safe on None / double call)."""
+        if plan is None:
+            return
         for route in plan.routes:
             for vm in route.path:
                 self._busy_vms.discard(vm.vm_id)
 
-    def _check(
-        self,
-        mt: ManagedTransfer,
-        session: TransferSession,
-        n_nodes: int,
-        intrusiveness: float | None,
-        adaptive: bool,
-        multi_dc: bool | None = None,
-    ) -> None:
+    # Backwards-compatible internal aliases.
+    _release_plan = release_plan
+
+    def _prune_runs(self) -> None:
+        self._runs = [r for r in self._runs if not r.finished()]
+
+    def _replan(self, run: _ActiveRun, exclude: set[str], reason: str) -> None:
+        """Cancel the run's session and relaunch the remaining bytes on a
+        fresh plan that avoids ``exclude`` — the shared recovery step of
+        the periodic check and the detector's crash notifications."""
+        mt = run.mt
+        remaining = run.session.cancel()
+        self.release_plan(run.session.plan)
+        self._prune_runs()
+        mt.replans += 1
+        self._m_replans.inc()
+        if self.observer.enabled:
+            now = self.env.sim.now
+            self.observer.record_span(
+                "recovery.replan" if reason == "crash" else "decision.replan",
+                now,
+                now,
+                transfer=mt.transfer_id,
+                reason=reason,
+                remaining_bytes=remaining,
+            )
+        mt.bytes_confirmed += max(0.0, run.session.size - remaining)
+        if remaining <= 0:
+            return
+        self._launch(
+            mt, remaining, run.n_nodes, run.intrusiveness, set(exclude),
+            run.adaptive, run.multi_dc,
+        )
+
+    def _check(self, run: _ActiveRun) -> None:
         """Periodic observe/re-plan step for one active session."""
-        if session.done or session.cancelled or mt.done:
+        mt, session = run.mt, run.session
+        if run.finished():
+            self._prune_runs()
             return
         cfg = self.config
         if session.elapsed < cfg.warmup or mt.replans >= cfg.max_replans:
-            self.env.sim.schedule(
-                cfg.replan_interval, self._check, mt, session, n_nodes,
-                intrusiveness, adaptive, multi_dc,
-            )
+            self.env.sim.schedule(cfg.replan_interval, self._check, run)
             return
         # Health check over participating VMs.
+        suspected = self._suspected_ids()
         unhealthy = {
             vm.vm_id
             for route in session.plan.routes
             for vm in route.path
-            if self.monitor.node_health(vm) < cfg.health_threshold
+            if vm.vm_id in suspected
+            or self.monitor.node_health(vm) < cfg.health_threshold
         }
         # Performance check against the model.
         thr_est = self.monitor.estimated_throughput(mt.src_region, mt.dst_region)
         underperforming = False
         if thr_est == thr_est and thr_est > 0:
-            predicted_rate = self.time_model.effective_throughput(thr_est, n_nodes)
+            predicted_rate = self.time_model.effective_throughput(
+                thr_est, run.n_nodes
+            )
             achieved = session.mean_throughput()
             underperforming = achieved < cfg.performance_threshold * predicted_rate
         if unhealthy or underperforming:
-            remaining = session.cancel()
-            self._release_plan(session.plan)
-            mt.replans += 1
-            self._m_replans.inc()
-            if self.observer.enabled:
-                now = self.env.sim.now
-                self.observer.record_span(
-                    "decision.replan",
-                    now,
-                    now,
-                    transfer=mt.transfer_id,
-                    reason="health" if unhealthy else "performance",
-                    remaining_bytes=remaining,
-                )
-            mt.bytes_confirmed += max(0.0, session.size - remaining)
-            if remaining <= 0:
-                return
-            self._launch(
-                mt, remaining, n_nodes, intrusiveness, unhealthy, adaptive,
-                multi_dc,
+            self._replan(
+                run,
+                unhealthy | suspected,
+                reason="health" if unhealthy else "performance",
             )
         else:
-            self.env.sim.schedule(
-                cfg.replan_interval, self._check, mt, session, n_nodes,
-                intrusiveness, adaptive, multi_dc,
-            )
+            self.env.sim.schedule(cfg.replan_interval, self._check, run)
 
     def _observe_outcome(self, mt: ManagedTransfer) -> None:
         """Record predicted-vs-achieved pairs and close the span."""

@@ -6,16 +6,27 @@ builds the Transfer Service and the Decision Manager, and optionally runs a
 short learning phase so the link map is warm before the first application
 transfer — mirroring the deployment-startup learning phase of the real
 system.
+
+It also owns the *failure plumbing*: a heartbeat failure detector feeds
+suspected-dead VMs into the Decision Manager, stalled flows teach the
+link map that a link is delivering nothing, and a fault-event bus lets
+components (e.g. the streaming shipping layer) invalidate cached plans
+the moment the environment hard-fails.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.cloud.deployment import CloudEnvironment
 from repro.core.decision import DecisionConfig, DecisionManager
 from repro.monitor.agent import MonitorConfig, MonitoringAgent
+from repro.monitor.failure import FailureDetector, FailureDetectorConfig
 from repro.obs import NULL_OBSERVER
-from repro.transfer.service import TransferService
 from repro.simulation.units import MINUTE
+from repro.transfer.service import TransferService
+
+FaultListener = Callable[[str, str], None]
 
 
 class SageEngine:
@@ -51,7 +62,64 @@ class SageEngine:
             env, self.monitor, self.transfers, decision_config,
             observer=self.observer,
         )
+        #: Fault-event listeners: ``cb(kind, target)`` — fed by the fault
+        #: injector, the failure detector, and the flow-stall detector.
+        self._fault_listeners: list[FaultListener] = []
+        #: The active fault injector, if a chaos scenario is armed.
+        self.faults = None
+        mcfg = self.monitor.config
+        self.detector: FailureDetector | None = None
+        if mcfg.failure_detection and env.deployment.size() >= 1:
+            self.detector = FailureDetector(
+                env.sim,
+                env.deployment,
+                FailureDetectorConfig(
+                    heartbeat_interval=mcfg.heartbeat_interval,
+                    timeout=mcfg.failure_timeout,
+                ),
+                observer=self.observer,
+            )
+            self.decisions.attach_detector(self.detector)
+            self.detector.on_suspect(
+                lambda vm: self.emit_fault("vm.suspected", vm.vm_id)
+            )
+            self.detector.on_recover(
+                lambda vm: self.emit_fault("vm.recovered", vm.vm_id)
+            )
+        # Stalled flows are the observable signature of a dead link or
+        # VM: teach the link map a zero sample so planners route around
+        # it, and broadcast so cached plans are invalidated.
+        env.network.on_stall = self._on_flow_stall
 
+    # ------------------------------------------------------------------
+    # Fault plumbing
+    # ------------------------------------------------------------------
+    def on_fault(self, listener: FaultListener) -> None:
+        """Subscribe to fault events (``listener(kind, target)``)."""
+        self._fault_listeners.append(listener)
+
+    def emit_fault(self, kind: str, target: str) -> None:
+        """Broadcast a fault event to every subscribed listener."""
+        for listener in self._fault_listeners:
+            listener(kind, target)
+
+    def attach_faults(self, injector) -> None:
+        """Register the armed fault injector (called by ``injector.arm``)."""
+        self.faults = injector
+
+    def _on_flow_stall(self, flow) -> None:
+        now = self.env.sim.now
+        for src, dst in flow.wan_hops():
+            link = self.env.topology.link(src, dst)
+            if link.capacity(now) <= 0.0:
+                # The link is delivering nothing: record it so the next
+                # plan avoids the hop instead of trusting a stale mean.
+                self.monitor.ingest(src, dst, now, 0.0)
+        if self.observer.enabled:
+            self.observer.counter("network_flow_stalls_total").inc()
+        self.emit_fault("flow.stall", flow.label or f"flow#{flow.flow_id}")
+
+    # ------------------------------------------------------------------
     def start(self, learning_phase: float = 5 * MINUTE) -> None:
         """Begin monitoring; run the initial learning phase synchronously.
 
@@ -59,11 +127,15 @@ class SageEngine:
         ``learning_phase / interval`` samples per monitored link.
         """
         self.monitor.start(initial_round=True)
+        if self.detector is not None:
+            self.detector.start()
         if learning_phase > 0:
             self.env.run_until(self.env.now + learning_phase)
 
     def stop(self) -> None:
         self.monitor.stop()
+        if self.detector is not None:
+            self.detector.stop()
 
     # Shortcuts used throughout examples and benchmarks --------------------
     @property

@@ -1,0 +1,252 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` s on the
+virtual-time axis. Plans are built either explicitly (scripted chaos
+scenarios, unit tests) or generated from a seed with :meth:`FaultPlan.random`
+— both are fully deterministic, which is what makes fault-recovery
+experiments reproducible and A/B-comparable across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultKind:
+    """Namespace of fault-event kinds (plain strings for easy logging)."""
+
+    VM_CRASH = "vm.crash"
+    VM_RESTART = "vm.restart"
+    LINK_DOWN = "link.down"
+    LINK_UP = "link.up"
+    LINK_FLAP = "link.flap"
+    PARTITION = "partition"
+    PARTITION_HEAL = "partition.heal"
+    BATCH_DROP = "batch.drop"
+    BATCH_DUP = "batch.dup"
+
+    ALL = (
+        VM_CRASH, VM_RESTART, LINK_DOWN, LINK_UP, LINK_FLAP,
+        PARTITION, PARTITION_HEAL, BATCH_DROP, BATCH_DUP,
+    )
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is a VM id for VM faults, ``"SRC->DST"`` for link faults,
+    ``"A,B|C,D"`` (two comma-separated region groups) for partitions, and
+    an origin-region filter (or ``"*"``) for batch faults. ``param`` is
+    the duration of windowed faults (link flap, batch drop/dup windows)
+    or the capacity factor for :data:`FaultKind.LINK_FLAP` (see
+    ``param2``).
+    """
+
+    time: float
+    kind: str
+    target: str
+    param: float = 0.0
+    param2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, deterministic schedule of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        self.events.sort()
+        return self
+
+    # -- builders ------------------------------------------------------
+    def crash_vm(
+        self, time: float, vm_id: str, restart_after: float | None = None
+    ) -> "FaultPlan":
+        """Hard-crash ``vm_id``; optionally restart it after a delay."""
+        self.add(FaultEvent(time, FaultKind.VM_CRASH, vm_id))
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError("restart_after must be positive")
+            self.add(
+                FaultEvent(time + restart_after, FaultKind.VM_RESTART, vm_id)
+            )
+        return self
+
+    def restart_vm(self, time: float, vm_id: str) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.VM_RESTART, vm_id))
+
+    def link_down(
+        self, time: float, src: str, dst: str, duration: float | None = None
+    ) -> "FaultPlan":
+        """Blackhole the directed WAN link; optionally restore later."""
+        target = f"{src}->{dst}"
+        self.add(FaultEvent(time, FaultKind.LINK_DOWN, target))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            self.add(FaultEvent(time + duration, FaultKind.LINK_UP, target))
+        return self
+
+    def link_up(self, time: float, src: str, dst: str) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.LINK_UP, f"{src}->{dst}"))
+
+    def flap_link(
+        self, time: float, src: str, dst: str, scale: float, duration: float
+    ) -> "FaultPlan":
+        """Scale the link's capacity by ``scale`` for ``duration`` seconds."""
+        if scale < 0:
+            raise ValueError("scale must be >= 0")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.add(
+            FaultEvent(time, FaultKind.LINK_FLAP, f"{src}->{dst}", duration, scale)
+        )
+
+    def partition(
+        self,
+        time: float,
+        group_a: list[str],
+        group_b: list[str],
+        duration: float | None = None,
+    ) -> "FaultPlan":
+        """Take down every directed link between the two region groups."""
+        if not group_a or not group_b:
+            raise ValueError("both partition groups must be non-empty")
+        target = ",".join(group_a) + "|" + ",".join(group_b)
+        self.add(FaultEvent(time, FaultKind.PARTITION, target))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            self.add(
+                FaultEvent(time + duration, FaultKind.PARTITION_HEAL, target)
+            )
+        return self
+
+    def drop_batches(
+        self,
+        time: float,
+        duration: float,
+        origin: str = "*",
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Drop shipped batches from ``origin`` during a time window."""
+        return self._batch_window(
+            FaultKind.BATCH_DROP, time, duration, origin, probability
+        )
+
+    def duplicate_batches(
+        self,
+        time: float,
+        duration: float,
+        origin: str = "*",
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Duplicate shipped batches from ``origin`` during a time window."""
+        return self._batch_window(
+            FaultKind.BATCH_DUP, time, duration, origin, probability
+        )
+
+    def _batch_window(
+        self, kind: str, time: float, duration: float, origin: str, p: float
+    ) -> "FaultPlan":
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 < p <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        return self.add(FaultEvent(time, kind, origin, duration, p))
+
+    # -- generation ----------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        vm_ids: list[str],
+        links: list[tuple[str, str]],
+        horizon: float,
+        crash_rate: float = 2.0,
+        blackhole_rate: float = 1.0,
+        flap_rate: float = 1.0,
+        mean_outage: float = 60.0,
+    ) -> "FaultPlan":
+        """Generate a seeded schedule over ``horizon`` seconds.
+
+        ``*_rate`` are expected event counts over the horizon (Poisson).
+        The same seed with the same arguments always produces the same
+        plan — the determinism tests rely on it.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = np.random.Generator(np.random.PCG64(seed))
+        plan = cls()
+        if vm_ids:
+            for _ in range(rng.poisson(crash_rate)):
+                vm = vm_ids[int(rng.integers(len(vm_ids)))]
+                t = float(rng.uniform(0, horizon))
+                outage = float(rng.exponential(mean_outage)) + 1.0
+                plan.crash_vm(t, vm, restart_after=outage)
+        if links:
+            for _ in range(rng.poisson(blackhole_rate)):
+                src, dst = links[int(rng.integers(len(links)))]
+                t = float(rng.uniform(0, horizon))
+                outage = float(rng.exponential(mean_outage)) + 1.0
+                plan.link_down(t, src, dst, duration=outage)
+            for _ in range(rng.poisson(flap_rate)):
+                src, dst = links[int(rng.integers(len(links)))]
+                t = float(rng.uniform(0, horizon))
+                outage = float(rng.exponential(mean_outage)) + 1.0
+                scale = float(rng.uniform(0.05, 0.5))
+                plan.flap_link(t, src, dst, scale, outage)
+        return plan
+
+    # -- views ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        lines = [
+            f"t={e.time:8.1f}s  {e.kind:<15} {e.target}"
+            + (f"  ({e.param:.0f}s)" if e.param else "")
+            for e in self.events
+        ]
+        return "\n".join(lines) if lines else "(empty fault plan)"
+
+
+def chaos_scenario(
+    sender_vm_ids: list[str],
+    link: tuple[str, str],
+    t_crash: float = 60.0,
+    crash_outage: float = 90.0,
+    t_blackhole: float = 90.0,
+    blackhole_outage: float = 60.0,
+    dup_window: tuple[float, float] | None = (30.0, 60.0),
+) -> FaultPlan:
+    """The scripted ``repro chaos`` scenario.
+
+    Crashes two sender VMs mid-run, blackholes one inter-region link,
+    and (optionally) duplicates shipped batches for a while — the three
+    failure classes the recovery machinery must absorb with zero loss
+    and zero double-counting.
+    """
+    if len(sender_vm_ids) < 2:
+        raise ValueError("chaos scenario needs at least two sender VMs")
+    plan = FaultPlan()
+    plan.crash_vm(t_crash, sender_vm_ids[0], restart_after=crash_outage)
+    plan.crash_vm(t_crash + 5.0, sender_vm_ids[1], restart_after=crash_outage)
+    plan.link_down(t_blackhole, link[0], link[1], duration=blackhole_outage)
+    if dup_window is not None:
+        plan.duplicate_batches(dup_window[0], dup_window[1])
+    return plan

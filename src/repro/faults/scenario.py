@@ -1,0 +1,215 @@
+"""The scripted fault-recovery scenario behind ``repro chaos``.
+
+One function, :func:`run_chaos`, builds a deterministic geo-streaming run
+(two producing sites, one aggregation site, reliable shipping over the
+managed substrate), arms the scripted :func:`~repro.faults.plan.chaos_scenario`
+— two sender VMs crash, one inter-region link blackholes, shipped batches
+are duplicated for a while — and drains the job cleanly so the recovery
+contract can be checked *exactly*:
+
+* **zero lost records** — every ingested record is counted in exactly one
+  emitted global window result;
+* **zero double-counted records** — injected duplicates and at-least-once
+  re-sends are removed by the aggregator's dedup;
+* **bounded recovery** — crash detection latency stays within the
+  detector's bound and the drain completes within the finalize grace;
+* **honest accounting** — retried batches pay wide-area egress like any
+  other bytes.
+
+The same seed always produces the same fault log, retry counts, and
+result set; the chaos test and the E11 benchmark both call this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.plan import FaultPlan, chaos_scenario
+from repro.simulation.units import format_bytes
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import builtin_aggregate
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import ReliableShipping, SageShipping
+from repro.streaming.sources import PoissonSource
+from repro.streaming.windows import TumblingWindows
+
+
+@dataclass
+class ChaosResult:
+    """Everything the recovery report needs, in plain numbers."""
+
+    seed: int
+    duration: float
+    ingested: int
+    counted: int
+    results: int
+    faults: list[AppliedFault] = field(default_factory=list)
+    retries: int = 0
+    abandoned: int = 0
+    duplicates_delivered: int = 0
+    duplicates_dropped: int = 0
+    suspicions: int = 0
+    recoveries: int = 0
+    detection_latencies: list[float] = field(default_factory=list)
+    detection_bound: float = 0.0
+    drain_seconds: float = 0.0
+    wan_bytes: float = 0.0
+    egress_bytes: float = 0.0
+    egress_usd: float = 0.0
+
+    @property
+    def lost(self) -> int:
+        return max(0, self.ingested - self.counted)
+
+    @property
+    def double_counted(self) -> int:
+        return max(0, self.counted - self.ingested)
+
+    @property
+    def clean(self) -> bool:
+        """The recovery contract held: nothing lost, nothing doubled."""
+        return self.lost == 0 and self.double_counted == 0
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos run: seed={self.seed} duration={self.duration:.0f}s",
+            "",
+            f"faults applied: {len(self.faults)}",
+        ]
+        for f in self.faults:
+            extra = f" ({f.param:.0f}s)" if f.param else ""
+            lines.append(f"  t={f.time:7.1f}s  {f.kind:<12} {f.target}{extra}")
+        max_lat = max(self.detection_latencies, default=0.0)
+        lines += [
+            "",
+            f"failure detector: {self.suspicions} suspicions, "
+            f"{self.recoveries} recoveries, worst detection latency "
+            f"{max_lat:.1f}s (bound {self.detection_bound:.1f}s)",
+            f"shipping: {self.retries} retries, {self.abandoned} abandoned, "
+            f"{self.duplicates_delivered} duplicate deliveries",
+            f"aggregator: {self.duplicates_dropped} duplicate batches dropped",
+            f"drain after sources stopped: {self.drain_seconds:.1f}s",
+            "",
+            f"records ingested: {self.ingested}",
+            f"records counted:  {self.counted} "
+            f"in {self.results} window results",
+            f"lost: {self.lost}, double-counted: {self.double_counted}",
+            f"wide-area bytes (incl. retries): {format_bytes(self.wan_bytes)}, "
+            f"egress ${self.egress_usd:.4f}",
+            "",
+            "verdict: " + ("CLEAN — zero loss, zero double-counting"
+                           if self.clean else "DATA INTEGRITY VIOLATED"),
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    seed: int = 2013,
+    duration: float = 240.0,
+    site_regions: tuple[str, str] = ("NEU", "WEU"),
+    aggregation_region: str = "NUS",
+    records_per_s: float = 300.0,
+    plan: FaultPlan | None = None,
+    inject: bool = True,
+    delivery_timeout: float = 15.0,
+    max_retries: int = 8,
+    observer=None,
+) -> ChaosResult:
+    """Run the scripted chaos scenario to completion (virtual time).
+
+    ``plan=None`` arms the canonical scenario: the first site's first two
+    sender VMs crash at t≈60s (restarting 90s later) and the first
+    site → aggregation link blackholes for 60s at t=90s, with a batch
+    duplication window early on. ``inject=False`` runs the identical
+    workload fault-free — the baseline arm of experiment E11.
+    """
+    env = CloudEnvironment(seed=seed, variability_sigma=0.0, glitches=False)
+    spec = {site_regions[0]: 4, site_regions[1]: 3, aggregation_region: 4}
+    engine = SageEngine(env, deployment_spec=spec, observer=observer)
+    engine.start(learning_phase=120.0)
+
+    job = StreamJob(
+        name="chaos",
+        sites=[
+            SiteSpec(
+                region,
+                [PoissonSource(f"src-{region}", rate=records_per_s,
+                               keys=["k1", "k2"])],
+            )
+            for region in site_regions
+        ],
+        aggregation_region=aggregation_region,
+        windows=TumblingWindows(10.0),
+        aggregate=builtin_aggregate("count"),
+        # The grace must cover a batch's worst recovery path: detection
+        # (≤ 20s) or stall (≤ 30s), then timed-out retries with backoff
+        # until the route heals (~45s for the 60s blackhole, because the
+        # stall feedback reroutes around the dead link). 90s holds all
+        # of it with margin.
+        finalize_grace=90.0,
+    )
+    factory = ReliableShipping.factory(
+        SageShipping.factory(n_nodes=2, plan_ttl=30.0),
+        delivery_timeout=delivery_timeout,
+        max_retries=max_retries,
+    )
+    runtime = GeoStreamRuntime(engine, job, factory)
+
+    injector: FaultInjector | None = None
+    if inject:
+        if plan is None:
+            senders = [vm.vm_id for vm in engine.deployment.vms(site_regions[0])]
+            plan = chaos_scenario(
+                senders, (site_regions[0], aggregation_region)
+            )
+        injector = FaultInjector(engine, plan).arm()
+
+    t0 = engine.sim.now
+    runtime.start()
+    engine.run_until(t0 + duration)
+    # Quiet the sources but keep ticking: watermarks advance past every
+    # open window, the batchers flush, and retries drain.
+    for site in runtime.sites.values():
+        site.stop_sources()
+    drain_start = engine.sim.now
+    engine.run_until(drain_start + job.watermark_lag + 15.0)
+    runtime.stop()
+    engine.run_until(engine.sim.now + job.finalize_grace + 60.0)
+    engine.env.finalize()
+
+    ingested = runtime.records_ingested()
+    counted = sum(r.record_count for r in runtime.results)
+    last_emit = max((r.emitted_at for r in runtime.results), default=drain_start)
+    detector = engine.detector
+    meter = engine.env.meter.snapshot()
+    backends = [site.shipping for site in runtime.sites.values()]
+    return ChaosResult(
+        seed=seed,
+        duration=duration,
+        ingested=ingested,
+        counted=counted,
+        results=len(runtime.results),
+        faults=list(injector.log) if injector is not None else [],
+        retries=sum(b.retries for b in backends),
+        abandoned=sum(b.abandoned for b in backends),
+        duplicates_delivered=sum(b.duplicates_delivered for b in backends),
+        duplicates_dropped=runtime.aggregator.duplicates_dropped,
+        suspicions=detector.suspicions if detector else 0,
+        recoveries=detector.recoveries if detector else 0,
+        detection_latencies=(
+            list(detector.detection_latencies) if detector else []
+        ),
+        detection_bound=(
+            detector.detection_latency_bound() if detector else 0.0
+        ),
+        drain_seconds=max(0.0, last_emit - drain_start),
+        wan_bytes=runtime.wan_bytes(),
+        egress_bytes=meter.egress_bytes,
+        egress_usd=meter.egress_usd,
+    )
+
+
+__all__ = ["ChaosResult", "run_chaos"]

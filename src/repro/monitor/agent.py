@@ -50,6 +50,12 @@ class MonitorConfig:
     cpu_threshold: float = 0.85
     #: Suspend link probing while an application transfer uses the link.
     suspend_during_transfers: bool = True
+    #: Run the heartbeat failure detector alongside sampling.
+    failure_detection: bool = True
+    #: Heartbeat period of the failure detector.
+    heartbeat_interval: float = 5.0
+    #: Heartbeat silence after which a VM is suspected dead.
+    failure_timeout: float = 15.0
 
 
 class MonitoringAgent:
@@ -241,6 +247,9 @@ class MonitoringAgent:
 
         A point-in-time observation with small measurement noise — the
         decision manager uses it to detect and avoid degraded nodes.
+        A crashed VM answers no probe at all: its measured health is 0.
         """
+        if vm.failed:
+            return 0.0
         rng = self.sim.rngs.get(f"health/{vm.vm_id}")
         return min(1.0, vm.health * rng.lognormal(0.0, 0.02))

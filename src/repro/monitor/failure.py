@@ -1,0 +1,151 @@
+"""Heartbeat-based failure detection.
+
+Each deployed VM emits a heartbeat every ``heartbeat_interval`` seconds
+(a crashed VM emits none — :attr:`~repro.cloud.vm.VM.failed` is the
+ground truth the simulated heartbeat channel reads). The detector checks
+for silence every interval and *suspects* a VM once its last heartbeat is
+older than ``timeout``; detection latency is therefore bounded by
+``timeout + heartbeat_interval``. When a suspected VM heartbeats again it
+rejoins the healthy pool and listeners are notified, so the Decision
+Manager can re-admit it to plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.deployment import Deployment
+from repro.cloud.vm import VM
+from repro.obs import NULL_OBSERVER
+from repro.simulation.engine import PeriodicTask, Simulator
+
+
+@dataclass
+class FailureDetectorConfig:
+    """Tunables of the heartbeat failure detector."""
+
+    #: Seconds between heartbeats (and between silence checks).
+    heartbeat_interval: float = 5.0
+    #: Suspect a VM after this much heartbeat silence.
+    timeout: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.timeout < self.heartbeat_interval:
+            raise ValueError(
+                "timeout must be >= heartbeat_interval "
+                f"({self.timeout} < {self.heartbeat_interval})"
+            )
+
+    @property
+    def detection_bound(self) -> float:
+        """Worst-case crash → suspicion latency."""
+        return self.timeout + self.heartbeat_interval
+
+
+class FailureDetector:
+    """Tracks heartbeat liveness of every VM in a deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deployment: Deployment,
+        config: FailureDetectorConfig | None = None,
+        observer=None,
+    ) -> None:
+        self.sim = sim
+        self.deployment = deployment
+        self.config = config or FailureDetectorConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        obs = self.observer
+        self._m_suspects = obs.counter("failure_detector_suspects_total")
+        self._m_recoveries = obs.counter("failure_detector_recoveries_total")
+        self._m_latency = obs.histogram("failure_detection_latency_seconds")
+        self.last_heartbeat: dict[str, float] = {}
+        self.suspected: set[str] = set()
+        #: When each currently-suspected VM went silent (for latency spans).
+        self._silent_since: dict[str, float] = {}
+        self.suspicions = 0
+        self.recoveries = 0
+        #: Observed crash→suspicion latencies (each ≤ the config bound).
+        self.detection_latencies: list[float] = []
+        self._on_suspect: list[Callable[[VM], None]] = []
+        self._on_recover: list[Callable[[VM], None]] = []
+        self._task: PeriodicTask | None = None
+
+    # ------------------------------------------------------------------
+    def on_suspect(self, callback: Callable[[VM], None]) -> None:
+        self._on_suspect.append(callback)
+
+    def on_recover(self, callback: Callable[[VM], None]) -> None:
+        self._on_recover.append(callback)
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("detector already started")
+        now = self.sim.now
+        for vm in self.deployment.vms():
+            self.last_heartbeat[vm.vm_id] = now
+        self._task = self.sim.add_periodic(
+            self.config.heartbeat_interval, self._beat
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def _beat(self) -> None:
+        now = self.sim.now
+        timeout = self.config.timeout
+        for vm in self.deployment.vms():
+            last = self.last_heartbeat.setdefault(vm.vm_id, now)
+            if vm.alive:
+                self.last_heartbeat[vm.vm_id] = now
+                if vm.vm_id in self.suspected:
+                    self._recover(vm, now)
+            elif vm.vm_id not in self.suspected and now - last > timeout:
+                self._suspect(vm, last, now)
+
+    def _suspect(self, vm: VM, last: float, now: float) -> None:
+        self.suspected.add(vm.vm_id)
+        self._silent_since[vm.vm_id] = last
+        self.suspicions += 1
+        self._m_suspects.inc()
+        # Detection latency: silence began one interval after the last
+        # heartbeat at the latest; measure from the last heartbeat, the
+        # conservative (larger) figure, which the bound still covers.
+        self.detection_latencies.append(now - last)
+        self._m_latency.observe(now - last)
+        for cb in self._on_suspect:
+            cb(vm)
+
+    def _recover(self, vm: VM, now: float) -> None:
+        self.suspected.discard(vm.vm_id)
+        silent_since = self._silent_since.pop(vm.vm_id, now)
+        self.recoveries += 1
+        self._m_recoveries.inc()
+        if self.observer.enabled:
+            self.observer.record_span(
+                "recovery.vm",
+                silent_since,
+                now,
+                vm=vm.vm_id,
+                region=vm.region_code,
+            )
+        for cb in self._on_recover:
+            cb(vm)
+
+    # ------------------------------------------------------------------
+    def is_suspected(self, vm_id: str) -> bool:
+        return vm_id in self.suspected
+
+    def healthy(self, vm: VM) -> bool:
+        """Detector's view: not currently suspected."""
+        return vm.vm_id not in self.suspected
+
+    def detection_latency_bound(self) -> float:
+        return self.config.detection_bound

@@ -37,6 +37,7 @@ from repro.streaming.runtime import (
 from repro.streaming.shipping import (
     BlobShipping,
     DirectShipping,
+    ReliableShipping,
     SageShipping,
     ShippingBackend,
     UdpShipping,
@@ -85,4 +86,5 @@ __all__ = [
     "DirectShipping",
     "BlobShipping",
     "UdpShipping",
+    "ReliableShipping",
 ]

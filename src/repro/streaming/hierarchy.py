@@ -62,6 +62,11 @@ class HubAggregator:
             HybridBatchPolicy(64 * KB, max(hold, 0.5)), origin=hub_region
         )
         self._slots: dict[tuple[Window, str], _HubSlot] = {}
+        #: ``(origin, seq)`` of merged child batches — at-least-once
+        #: shipping from the edge may re-send; a duplicate must not be
+        #: merged into the hub state twice.
+        self._seen_batches: set[tuple[str, int]] = set()
+        self.duplicates_dropped = 0
         self.partials_in = 0
         self.partials_out = 0
         self._ticker = engine.sim.add_periodic(1.0, self._tick)
@@ -72,6 +77,12 @@ class HubAggregator:
     # ------------------------------------------------------------------
     def deliver(self, batch: Batch) -> None:
         """Receive a child site's batch (plugged as its delivery target)."""
+        if batch.origin:
+            key = (batch.origin, batch.seq)
+            if key in self._seen_batches:
+                self.duplicates_dropped += 1
+                return
+            self._seen_batches.add(key)
         for record in batch.records:
             value = record.value
             if not isinstance(value, PartialAggregate):

@@ -160,9 +160,19 @@ class SiteRuntime:
             source.start()
         self._task = self.engine.sim.add_periodic(self.tick, self._on_tick)
 
-    def stop(self) -> None:
+    def stop_sources(self) -> None:
+        """Stop ingestion but keep the tick loop running.
+
+        Used for clean drains: with sources quiet but ticks alive, the
+        watermark keeps advancing, every open window closes, and the
+        batcher flushes — so "all ingested records counted" can be
+        asserted exactly (the fault-recovery experiments rely on it).
+        """
         for source in self.spec.sources:
             source.stop()
+
+    def stop(self) -> None:
+        self.stop_sources()
         if self._task is not None:
             self._task.stop()
             self._task = None
@@ -265,8 +275,14 @@ class GlobalAggregator:
         self.results: list[WindowResult] = []
         self.late_partials = 0
         self.raw_records = 0
+        #: Batches discarded as duplicates of an already-merged delivery.
+        self.duplicates_dropped = 0
         self._pending: dict[tuple[Window, str], _PendingWindowKey] = {}
         self._emitted: set[tuple[Window, str]] = set()
+        #: ``(origin, seq)`` of every batch already merged — the receiver
+        #: half of at-least-once delivery: a re-sent or duplicated batch
+        #: must not double-count any window.
+        self._seen_batches: set[tuple[str, int]] = set()
         #: Aggregator-side windowing for jobs that ship raw records.
         self._raw_aggregator = WindowedAggregator(job.windows, job.aggregate)
         obs = engine.observer
@@ -274,9 +290,17 @@ class GlobalAggregator:
         self._m_results = obs.counter("stream_results_total")
         self._m_late = obs.counter("stream_late_partials_total")
         self._m_latency = obs.histogram("stream_window_latency_seconds")
+        self._m_dups = obs.counter("agg_duplicates_dropped_total")
 
     def deliver(self, batch: Batch) -> None:
         now = self.engine.sim.now
+        if batch.origin:
+            key = (batch.origin, batch.seq)
+            if key in self._seen_batches:
+                self.duplicates_dropped += 1
+                self._m_dups.inc()
+                return
+            self._seen_batches.add(key)
         for record in batch.records:
             value = record.value
             if isinstance(value, PartialAggregate):

@@ -5,10 +5,21 @@ comparison the evaluation keeps returning to:
 
 * :class:`SageShipping` — the managed substrate: batches travel over a
   decision-manager plan (parallel helpers / multi-datacenter paths) that
-  is refreshed as the environment drifts;
-* :class:`DirectShipping` — one plain TCP flow per batch, no awareness;
+  is refreshed as the environment drifts and invalidated the moment a
+  fault event lands;
+* :class:`DirectShipping` — one plain TCP flow per batch, round-robin
+  over the site's sender VMs, no awareness;
 * :class:`BlobShipping` — the cloud's out-of-the-box answer: stage the
   batch into the destination region's object store, then read it back.
+
+:class:`ReliableShipping` wraps any of them with at-least-once delivery:
+per-batch sequence tracking, a delivery timeout, exponential backoff with
+jitter, and bounded retries. Duplicates it may create are removed by the
+aggregator's ``(origin, seq)`` dedup.
+
+``ship`` may return a cancellable handle (anything with ``cancel()``) so
+a reliability wrapper can abandon a stalled attempt and free its network
+resources; backends without one return ``None``.
 """
 
 from __future__ import annotations
@@ -21,6 +32,42 @@ from repro.streaming.events import Batch
 from repro.transfer.plan import TransferPlan
 
 DeliveryCallback = Callable[[Batch], None]
+
+#: Fault kinds that change what a good route looks like — a cached plan
+#: must not outlive any of them. Batch-level faults (drop/duplicate) are
+#: deliberately absent: they affect delivery, not routing.
+_ROUTING_FAULTS = (
+    "vm.crash",
+    "vm.restart",
+    "vm.suspected",
+    "vm.recovered",
+    "link.down",
+    "link.up",
+    "link.flap",
+    "partition",
+    "partition.heal",
+    "flow.stall",
+)
+
+
+class ShipHandle:
+    """Cancellable handle for an in-flight shipped batch.
+
+    Covers the window between ``ship()`` and transfer start (coordination
+    latency) as well as the transfer itself.
+    """
+
+    __slots__ = ("session", "cancelled")
+
+    def __init__(self) -> None:
+        self.session = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        s = self.session
+        if s is not None and not s.done and not s.cancelled:
+            s.cancel()
 
 
 class _ShipInstruments:
@@ -82,26 +129,59 @@ class ShippingBackend(Protocol):
 
 
 class DirectShipping:
-    """One unmanaged flow per batch, source VM to aggregation VM."""
+    """One unmanaged flow per batch, round-robin over the sender VMs.
 
-    def __init__(self, engine: SageEngine, src_vm: VM, dst_vm: VM, streams: int = 1):
+    Accepts a single VM (the historical signature) or the site's whole
+    VM list; successive batches rotate through the senders so one busy
+    or crashed NIC does not serialise the site's entire egress. Crashed
+    senders are skipped while any live one remains.
+    """
+
+    def __init__(
+        self,
+        engine: SageEngine,
+        src_vms: VM | list[VM],
+        dst_vm: VM,
+        streams: int = 1,
+    ):
         self.engine = engine
-        self.src_vm = src_vm
+        self.src_vms = [src_vms] if isinstance(src_vms, VM) else list(src_vms)
+        if not self.src_vms:
+            raise ValueError("DirectShipping needs at least one sender VM")
         self.dst_vm = dst_vm
         self.streams = streams
         self.bytes_shipped = 0.0
         self.batches_shipped = 0
+        self._rr = 0
         self._inst = _ShipInstruments(
-            engine, "direct", src_vm.region_code, dst_vm.region_code
+            engine, "direct", self.src_vms[0].region_code, dst_vm.region_code
         )
 
-    def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
+    @property
+    def src_vm(self) -> VM:
+        """The next sender (historical single-VM attribute)."""
+        return self.src_vms[self._rr % len(self.src_vms)]
+
+    def _next_sender(self) -> VM:
+        n = len(self.src_vms)
+        for i in range(n):
+            vm = self.src_vms[(self._rr + i) % n]
+            if vm.alive:
+                self._rr = (self._rr + i + 1) % n
+                return vm
+        # Every sender is down: keep rotating anyway — the transfer will
+        # stall until a restore, and the reliability layer retries.
+        vm = self.src_vms[self._rr % n]
+        self._rr = (self._rr + 1) % n
+        return vm
+
+    def ship(self, batch: Batch, on_delivered: DeliveryCallback):
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
         on_delivered = self._inst.wrap(batch, on_delivered)
-        self.engine.transfers.execute(
-            TransferPlan.direct(self.src_vm, self.dst_vm, streams=self.streams,
-                                label="ship-direct"),
+        return self.engine.transfers.execute(
+            TransferPlan.direct(self._next_sender(), self.dst_vm,
+                                streams=self.streams, label="ship-direct"),
             batch.size_bytes,
             on_complete=lambda _s: on_delivered(batch),
         )
@@ -109,7 +189,7 @@ class DirectShipping:
     @classmethod
     def factory(cls, streams: int = 1):
         def build(engine: SageEngine, src_vms: list[VM], dst_vm: VM):
-            return cls(engine, src_vms[0], dst_vm, streams=streams)
+            return cls(engine, src_vms, dst_vm, streams=streams)
 
         return build
 
@@ -120,7 +200,11 @@ class SageShipping:
     Building a full managed transfer per (small) batch would pay planning
     overhead per batch; instead the backend asks the Decision Manager for
     a plan once and re-asks every ``plan_ttl`` seconds so route choice
-    follows the environment.
+    follows the environment. The cached plan's VMs are *reserved* with
+    the Decision Manager (concurrent plans route around them) and every
+    superseded plan is released; fault events — crashes, suspicions,
+    link outages, flow stalls — invalidate the cache immediately instead
+    of letting a dead route survive to its TTL.
     """
 
     def __init__(
@@ -151,45 +235,90 @@ class SageShipping:
         self.bytes_shipped = 0.0
         self.batches_shipped = 0
         self.plans_built = 0
+        self.plan_invalidations = 0
         self._plan: TransferPlan | None = None
+        self._plan_reserved = False
         self._plan_expiry = -1.0
         self._inst = _ShipInstruments(engine, "sage", src_region, dst_region)
+        engine.on_fault(self._on_fault)
 
-    def _current_plan(self) -> TransferPlan:
+    # ------------------------------------------------------------------
+    def _on_fault(self, kind: str, target: str) -> None:
+        if kind in _ROUTING_FAULTS:
+            self.invalidate_plan()
+
+    def invalidate_plan(self) -> None:
+        """Drop the cached plan (and its VM reservations) immediately.
+
+        The next batch re-plans against the post-fault environment
+        instead of riding a route through a crashed VM or dead link
+        until the TTL expires.
+        """
+        if self._plan is None and self._plan_expiry < 0:
+            return
+        self._drop_plan()
+        self.plan_invalidations += 1
+
+    def _drop_plan(self) -> None:
+        if self._plan_reserved:
+            self.engine.decisions.release_plan(self._plan)
+            self._plan_reserved = False
+        self._plan = None
+        self._plan_expiry = -1.0
+
+    def _current_plan(self) -> TransferPlan | None:
+        """The active plan, or ``None`` for in-memory local handover."""
         now = self.engine.sim.now
         if self._plan is None or now >= self._plan_expiry:
+            self._drop_plan()
             if self.src_region == self.dst_region:
                 # Site-local delivery: one intra-datacenter hop, no WAN
-                # planning needed.
+                # planning needed. Prefer live VMs; with a single VM in
+                # the region there is nothing to transfer across — the
+                # batch is handed over in memory (plan None).
                 vms = self.engine.deployment.vms(self.src_region)
-                self._plan = TransferPlan.direct(
-                    vms[0], vms[-1], label="ship-sage-local"
-                )
+                live = [vm for vm in vms if vm.alive] or vms
+                if len(live) >= 2:
+                    self._plan = TransferPlan.direct(
+                        live[0], live[-1], label="ship-sage-local"
+                    )
             else:
-                self._plan = self.engine.decisions.build_plan(
-                    self.src_region,
-                    self.dst_region,
-                    self.n_nodes,
-                    intrusiveness=self.intrusiveness,
-                    label=f"ship-sage:{self.src_region}->{self.dst_region}",
+                self._plan = self.engine.decisions.reserve_plan(
+                    self.engine.decisions.build_plan(
+                        self.src_region,
+                        self.dst_region,
+                        self.n_nodes,
+                        intrusiveness=self.intrusiveness,
+                        label=f"ship-sage:{self.src_region}->{self.dst_region}",
+                    )
                 )
+                self._plan_reserved = True
             self._plan_expiry = now + self.plan_ttl
             self.plans_built += 1
         return self._plan
 
-    def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
+    def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> ShipHandle:
         self.bytes_shipped += batch.size_bytes
         self.batches_shipped += 1
         on_delivered = self._inst.wrap(batch, on_delivered)
+        handle = ShipHandle()
 
         def _start() -> None:
-            self.engine.transfers.execute(
-                self._current_plan(),
+            if handle.cancelled:
+                return
+            plan = self._current_plan()
+            if plan is None:
+                # Single-VM site: producer and aggregator share the box.
+                on_delivered(batch)
+                return
+            handle.session = self.engine.transfers.execute(
+                plan,
                 batch.size_bytes,
                 on_complete=lambda _s: on_delivered(batch),
             )
 
         self.engine.sim.schedule(self.coordination_latency, _start)
+        return handle
 
     @classmethod
     def factory(cls, n_nodes: int = 3, plan_ttl: float = 60.0,
@@ -204,6 +333,171 @@ class SageShipping:
                 plan_ttl=plan_ttl,
                 intrusiveness=intrusiveness,
                 coordination_latency=coordination_latency,
+            )
+
+        return build
+
+
+class _Delivery:
+    """Tracking state of one batch inside :class:`ReliableShipping`."""
+
+    __slots__ = ("batch", "on_delivered", "attempt", "acked", "abandoned",
+                 "handle")
+
+    def __init__(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
+        self.batch = batch
+        self.on_delivered = on_delivered
+        self.attempt = 0
+        self.acked = False
+        self.abandoned = False
+        self.handle = None
+
+
+class ReliableShipping:
+    """At-least-once delivery over any inner shipping backend.
+
+    Each batch is identified by its ``(origin, seq)`` pair (the batcher
+    assigns sequence numbers per site). An attempt that has not been
+    acknowledged within ``delivery_timeout`` is cancelled — freeing its
+    network resources — and re-sent after exponential backoff with
+    jitter, up to ``max_retries`` re-sends; then the batch is abandoned
+    and counted. The wrapper consults the armed fault injector per
+    attempt, so injected in-flight drops surface as lost acks (the
+    retry path) and injected duplicates surface as double deliveries
+    (the aggregator's dedup path). Retries re-enter the inner backend,
+    so their wide-area bytes are billed like any other batch — the cost
+    accounting of a faulty run stays honest.
+
+    At-least-once means duplicates are possible by design (a late first
+    copy can land after its retry was already sent); the global
+    aggregator removes them by ``(origin, seq)``.
+    """
+
+    def __init__(
+        self,
+        engine: SageEngine,
+        inner,
+        delivery_timeout: float = 20.0,
+        max_retries: int = 6,
+        backoff_base: float = 2.0,
+        backoff_cap: float = 60.0,
+        name: str | None = None,
+    ) -> None:
+        if delivery_timeout <= 0:
+            raise ValueError("delivery_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.engine = engine
+        self.inner = inner
+        self.delivery_timeout = delivery_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = engine.sim.rngs.get(
+            f"reliable/{name or type(inner).__name__}"
+        )
+        self.retries = 0
+        self.abandoned = 0
+        self.acked = 0
+        self.duplicates_delivered = 0
+        obs = engine.observer
+        self._m_retries = obs.counter("ship_retries_total")
+        self._m_abandoned = obs.counter("ship_batches_abandoned_total")
+        self._m_duplicates = obs.counter("ship_duplicates_delivered_total")
+
+    # Cost accounting stays the inner backend's: retries pass through it.
+    @property
+    def bytes_shipped(self) -> float:
+        return self.inner.bytes_shipped
+
+    @property
+    def batches_shipped(self) -> int:
+        return self.inner.batches_shipped
+
+    def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
+        self._attempt(_Delivery(batch, on_delivered))
+
+    # ------------------------------------------------------------------
+    def _attempt(self, d: _Delivery) -> None:
+        d.attempt += 1
+        attempt_no = d.attempt
+        verdict = "deliver"
+        faults = getattr(self.engine, "faults", None)
+        if faults is not None:
+            verdict = faults.intercept_batch(d.batch.origin, d.batch.seq)
+
+        def _arrived(batch: Batch) -> None:
+            if d.acked:
+                # A retry already delivered this batch; the late copy
+                # still reaches the receiver — dedup removes it there.
+                self.duplicates_delivered += 1
+                self._m_duplicates.inc()
+                d.on_delivered(batch)
+                return
+            if verdict == "drop":
+                # Lost in flight: the receiver never saw it, the ack
+                # never comes, and the timeout path re-sends.
+                return
+            d.acked = True
+            self.acked += 1
+            d.on_delivered(batch)
+            if verdict == "duplicate":
+                self.duplicates_delivered += 1
+                self._m_duplicates.inc()
+                d.on_delivered(batch)
+
+        d.handle = self.inner.ship(d.batch, _arrived)
+        self.engine.sim.schedule(
+            self.delivery_timeout, self._on_timeout, d, attempt_no
+        )
+
+    def _on_timeout(self, d: _Delivery, attempt_no: int) -> None:
+        if d.acked or d.abandoned or d.attempt != attempt_no:
+            return
+        handle = d.handle
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+        d.handle = None
+        if d.attempt > self.max_retries:
+            d.abandoned = True
+            self.abandoned += 1
+            self._m_abandoned.inc()
+            return
+        self.retries += 1
+        self._m_retries.inc()
+        delay = min(
+            self.backoff_cap, self.backoff_base * 2.0 ** (d.attempt - 1)
+        )
+        # Jitter in [0.5, 1.5): retries of batches lost together do not
+        # re-collide on the recovering link.
+        delay *= 0.5 + self._rng.random()
+        self.engine.sim.schedule(delay, self._retry, d)
+
+    def _retry(self, d: _Delivery) -> None:
+        if d.acked or d.abandoned:
+            return
+        self._attempt(d)
+
+    @classmethod
+    def factory(
+        cls,
+        inner_factory,
+        delivery_timeout: float = 20.0,
+        max_retries: int = 6,
+        backoff_base: float = 2.0,
+        backoff_cap: float = 60.0,
+    ):
+        """Wrap another backend factory with at-least-once delivery."""
+
+        def build(engine: SageEngine, src_vms: list[VM], dst_vm: VM):
+            return cls(
+                engine,
+                inner_factory(engine, src_vms, dst_vm),
+                delivery_timeout=delivery_timeout,
+                max_retries=max_retries,
+                backoff_base=backoff_base,
+                backoff_cap=backoff_cap,
+                name=f"{src_vms[0].region_code}->{dst_vm.region_code}",
             )
 
         return build

@@ -10,6 +10,7 @@ import pytest
 from repro.cloud.deployment import CloudEnvironment
 from repro.cloud.network import Flow
 from repro.core.engine import SageEngine
+from repro.faults import run_chaos
 from repro.simulation.units import GB, MB
 from repro.streaming import (
     GeoStreamRuntime,
@@ -126,3 +127,50 @@ def test_cancelled_managed_transfer_bills_partial_egress():
     spent = engine.env.meter.snapshot() - before
     assert moved > 0
     assert spent.egress_bytes == pytest.approx(moved, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# Hard-failure chaos scenarios (run with ``pytest -m chaos``)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+def test_chaos_scenario_recovers_clean():
+    """Two sender VMs crash and a link blackholes mid-run; the pipeline
+    must deliver every ingested record exactly once, within bounds."""
+    result = run_chaos(seed=7, duration=240.0)
+    assert result.clean, result.describe()
+    assert result.lost == 0 and result.double_counted == 0
+    assert result.abandoned == 0  # bounded retries never gave up
+    assert result.retries > 0  # the faults really bit
+    assert result.suspicions >= 2 and result.recoveries >= 2
+    assert result.detection_latencies
+    assert max(result.detection_latencies) <= result.detection_bound
+    # Every duplicate delivery (injected or late retry copy) was removed
+    # by the aggregator — none slipped through, none vanished elsewhere.
+    assert result.duplicates_delivered > 0
+    assert result.duplicates_dropped == result.duplicates_delivered
+    # Bounded recovery: the drain stays within grace + shipping slack.
+    assert result.drain_seconds <= 150.0
+    # Honest accounting: retried batches paid real egress.
+    assert result.wan_bytes > 0
+    assert result.egress_bytes > 0 and result.egress_usd > 0
+
+
+@pytest.mark.chaos
+def test_chaos_scenario_is_deterministic():
+    a = run_chaos(seed=11, duration=200.0)
+    b = run_chaos(seed=11, duration=200.0)
+    assert a.faults == b.faults  # bit-identical fault log
+    assert (a.retries, a.duplicates_delivered, a.ingested, a.counted) == (
+        b.retries, b.duplicates_delivered, b.ingested, b.counted
+    )
+    assert a.clean and b.clean
+
+
+@pytest.mark.chaos
+def test_chaos_baseline_without_faults_is_quiet():
+    result = run_chaos(seed=7, duration=180.0, inject=False)
+    assert result.clean
+    assert not result.faults
+    assert result.retries == 0 and result.abandoned == 0
+    assert result.duplicates_delivered == 0
+    assert result.suspicions == 0 and result.recoveries == 0

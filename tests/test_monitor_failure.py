@@ -1,0 +1,117 @@
+"""Tests for heartbeat failure detection and detector-driven recovery."""
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.core.engine import SageEngine
+from repro.monitor.agent import MonitorConfig
+from repro.monitor.failure import FailureDetectorConfig
+from repro.simulation.units import GB
+
+
+def make_engine(seed=501, spec=None):
+    env = CloudEnvironment(seed=seed, variability_sigma=0.0, glitches=False)
+    engine = SageEngine(env, deployment_spec=spec or {"NEU": 4, "NUS": 4})
+    engine.start(learning_phase=60.0)
+    return engine
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="heartbeat_interval"):
+        FailureDetectorConfig(heartbeat_interval=0.0)
+    with pytest.raises(ValueError, match="timeout"):
+        FailureDetectorConfig(heartbeat_interval=10.0, timeout=5.0)
+    cfg = FailureDetectorConfig(heartbeat_interval=5.0, timeout=15.0)
+    assert cfg.detection_bound == 20.0
+
+
+def test_detector_can_be_disabled():
+    env = CloudEnvironment(seed=1, variability_sigma=0.0, glitches=False)
+    engine = SageEngine(
+        env,
+        deployment_spec={"NEU": 2, "NUS": 2},
+        monitor_config=MonitorConfig(failure_detection=False),
+    )
+    assert engine.detector is None
+    engine.start(learning_phase=10.0)  # still boots fine without one
+
+
+def test_crash_detected_within_bound():
+    engine = make_engine()
+    detector = engine.detector
+    assert detector is not None
+    vm = engine.deployment.vms("NEU")[0]
+    vm.fail()
+    engine.run_until(engine.sim.now + detector.detection_latency_bound() + 1.0)
+    assert detector.is_suspected(vm.vm_id)
+    assert detector.suspicions == 1
+    assert len(detector.detection_latencies) == 1
+    # Satellite contract: observed latency never exceeds the analytic bound.
+    assert detector.detection_latencies[0] <= detector.detection_latency_bound()
+
+
+def test_restored_vm_rejoins_healthy_pool():
+    engine = make_engine(seed=502)
+    detector = engine.detector
+    vm = engine.deployment.vms("NEU")[0]
+    vm.fail()
+    engine.run_until(engine.sim.now + 30.0)
+    assert detector.is_suspected(vm.vm_id)
+    # Suspected VMs are excluded from fresh plans.
+    plan = engine.decisions.build_plan("NEU", "NUS", 3)
+    used = {v.vm_id for route in plan.routes for v in route.path}
+    assert vm.vm_id not in used
+    vm.restore()
+    engine.run_until(
+        engine.sim.now + 2 * detector.config.heartbeat_interval + 1.0
+    )
+    assert not detector.is_suspected(vm.vm_id)
+    assert detector.healthy(vm)
+    assert detector.recoveries == 1
+    # Back in the healthy pool: a plan spanning the whole region uses it.
+    plan = engine.decisions.build_plan("NEU", "NUS", 4)
+    used = {v.vm_id for route in plan.routes for v in route.path}
+    assert vm.vm_id in used
+
+
+def test_suspicion_replans_inflight_transfer_around_crash():
+    engine = make_engine(seed=503)
+    mt = engine.decisions.transfer("NEU", "NUS", 2 * GB, n_nodes=3)
+    engine.run_until(engine.sim.now + 10.0)
+    on_plan = {
+        v.vm_id
+        for route in mt.current_session.plan.routes
+        for v in route.path
+    }
+    victim = next(
+        vm for vm in engine.deployment.vms("NEU") if vm.vm_id in on_plan
+    )
+    victim.fail()
+    engine.run_until(
+        engine.sim.now + engine.detector.detection_latency_bound() + 5.0
+    )
+    assert mt.replans >= 1
+    current = {
+        v.vm_id
+        for route in mt.current_session.plan.routes
+        for v in route.path
+    }
+    assert victim.vm_id not in current  # rerouted around the corpse
+    victim.restore()
+    while not mt.done:
+        engine.run_until(engine.sim.now + 10.0)
+    assert mt.done
+    assert mt.bytes_confirmed >= 2 * GB * 0.999
+
+
+def test_crash_emits_fault_events_on_engine_bus():
+    engine = make_engine(seed=504)
+    seen = []
+    engine.on_fault(lambda kind, target: seen.append((kind, target)))
+    vm = engine.deployment.vms("NEU")[0]
+    vm.fail()
+    engine.run_until(engine.sim.now + engine.detector.detection_latency_bound() + 1.0)
+    assert ("vm.suspected", vm.vm_id) in seen
+    vm.restore()
+    engine.run_until(engine.sim.now + 15.0)
+    assert ("vm.recovered", vm.vm_id) in seen
