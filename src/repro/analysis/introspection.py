@@ -104,3 +104,46 @@ def introspection_report(monitor: MonitoringAgent, observer=None) -> str:
         lines.append("")
         lines.append(summary_table(observer.registry))
     return "\n".join(lines)
+
+
+def streaming_report(runtime) -> str:
+    """Per-site flow-control view of a :class:`GeoStreamRuntime` run.
+
+    Surfaces what the overload machinery did: peak backlog against the
+    configured bound, records shed/deferred, drain stalls, and the
+    shipping layer's in-flight window and breaker state.
+    """
+    flow = getattr(runtime, "flow", None)
+    bound = flow.max_backlog if flow is not None else None
+    lines = [
+        "Streaming flow report"
+        + (f" (policy={flow.policy}, bound={bound})" if flow else " (no flow config)"),
+        f"{'site':10s} {'ingested':>9s} {'processed':>10s} {'peak':>6s} "
+        f"{'shed':>6s} {'defer':>6s} {'stall':>6s} {'parked':>7s} {'breaker':>9s}",
+    ]
+    for region, site in sorted(runtime.sites.items()):
+        deferred = sum(src.max_deferred for src in site.spec.sources)
+        shipping = site.shipping
+        breaker = getattr(shipping, "breaker", None)
+        lines.append(
+            f"{region:10s} {site.records_ingested:9d} "
+            f"{site.records_processed:10d} {site.max_backlog:6d} "
+            f"{site.records_shed:6d} {deferred:6d} "
+            f"{site.blocked_ticks + site.degraded_ticks:6d} "
+            f"{getattr(shipping, 'parked', 0):7d} "
+            f"{(breaker.state if breaker is not None else '-'):>9s}"
+        )
+    agg = runtime.aggregator
+    lines.append(
+        f"aggregator: {len(runtime.results)} results, "
+        f"{agg.duplicates_dropped} duplicate batches dropped, "
+        f"{agg.late_partials} late partials"
+    )
+    store = getattr(runtime, "checkpoint_store", None)
+    if store is not None:
+        lines.append(
+            f"checkpoints: {store.saves} saved "
+            f"({store.size_bytes('aggregator')} B aggregator snapshot), "
+            f"{store.loads} restores"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ simulated cloud:
    $ sage introspect --hours 2                 # delivered-SLA report
    $ sage stream --workload sensors --duration 300
    $ sage chaos --seed 7 --duration 240        # fault-recovery report
+   $ sage overload --policy shed               # overload-recovery report
 
 (entry point: ``python -m repro.cli`` or the ``sage`` console script).
 """
@@ -25,7 +26,7 @@ import os
 import re
 import sys
 
-from repro.analysis.introspection import introspection_report
+from repro.analysis.introspection import introspection_report, streaming_report
 from repro.analysis.tables import render_table
 from repro.core.dissemination import Disseminator
 from repro.obs import NULL_OBSERVER, Observer
@@ -179,7 +180,14 @@ def cmd_stream(args) -> int:
     else:
         regions = [r for r in engine.deployment.regions() if r != "WUS"][:3]
         job = clickstream_job(site_regions=regions, aggregation_region="WUS")
-    runtime = GeoStreamRuntime(engine, job, SageShipping.factory(n_nodes=2))
+    flow = None
+    if args.policy:
+        from repro.flow import FlowConfig
+
+        flow = FlowConfig(policy=args.policy, max_backlog=args.max_backlog)
+    runtime = GeoStreamRuntime(
+        engine, job, SageShipping.factory(n_nodes=2), flow=flow
+    )
     runtime.run_for(args.duration)
     stats = runtime.latency_stats()
     print(
@@ -188,6 +196,8 @@ def cmd_stream(args) -> int:
         f"WAN {format_bytes(runtime.wan_bytes())}"
     )
     print(stats.describe())
+    if flow is not None:
+        print(streaming_report(runtime))
     return 0
 
 
@@ -198,6 +208,22 @@ def cmd_chaos(args) -> int:
         seed=args.seed,
         duration=args.duration,
         inject=not args.no_faults,
+        observer=_observer(args),
+    )
+    print(result.describe())
+    return 0 if result.clean else 1
+
+
+def cmd_overload(args) -> int:
+    from repro.flow import run_overload
+
+    result = run_overload(
+        policy=args.policy,
+        seed=args.seed,
+        duration=args.duration,
+        max_backlog=args.max_backlog,
+        brownout=None if args.no_brownout else (70.0, 40.0, 0.0),
+        crash_at=None if args.no_crash else 150.0,
         observer=_observer(args),
     )
     print(result.describe())
@@ -261,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stream", help="run a streaming workload")
     p.add_argument("--workload", choices=("sensors", "clicks"), default="sensors")
     p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument(
+        "--policy",
+        choices=("block", "shed", "degrade"),
+        help="enable flow control with this overload policy",
+    )
+    p.add_argument("--max-backlog", type=int, default=50_000)
 
     p = sub.add_parser(
         "chaos",
@@ -271,6 +303,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-faults",
         action="store_true",
         help="run the identical workload without injecting faults",
+    )
+
+    p = sub.add_parser(
+        "overload",
+        help="run the scripted overload-recovery scenario and print the report",
+    )
+    p.add_argument(
+        "--policy", choices=("block", "shed", "degrade"), default="block"
+    )
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument("--max-backlog", type=int, default=1500)
+    p.add_argument(
+        "--no-brownout",
+        action="store_true",
+        help="skip the mid-burst WAN link outage",
+    )
+    p.add_argument(
+        "--no-crash",
+        action="store_true",
+        help="skip the aggregator crash/restart",
     )
 
     return parser
@@ -284,6 +336,7 @@ _COMMANDS = {
     "introspect": cmd_introspect,
     "stream": cmd_stream,
     "chaos": cmd_chaos,
+    "overload": cmd_overload,
 }
 
 

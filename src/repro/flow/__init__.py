@@ -1,0 +1,58 @@
+"""End-to-end backpressure, load shedding, and checkpoint/restore.
+
+PR 2 made the system survive *failures*; this package makes it survive
+*overload*. It provides:
+
+* bounded ingest/shipping buffers with pluggable overload policies
+  (:mod:`repro.flow.policy` — ``block`` / ``shed`` / ``degrade``) and
+  explicit credit-based backpressure (:mod:`repro.flow.credits`);
+* a circuit breaker on WAN shipping (:mod:`repro.flow.breaker`) that
+  cooperates with the failure detector so dead links stop accumulating
+  queued batches;
+* durable checkpoint/restore of streaming state
+  (:mod:`repro.flow.checkpoint`), which — combined with upstream batch
+  retention and ``(origin, seq)`` dedup — upgrades at-least-once
+  delivery into exactly-once window emission across aggregator restarts;
+* the scripted overload-recovery scenario behind ``sage overload``
+  (:mod:`repro.flow.scenario`, imported lazily to avoid a circular
+  import with the streaming runtime).
+"""
+
+from repro.flow.breaker import CircuitBreaker
+from repro.flow.checkpoint import Checkpointer, CheckpointStore
+from repro.flow.credits import CreditGate
+from repro.flow.policy import (
+    POLICIES,
+    BlockPolicy,
+    DegradePolicy,
+    FlowConfig,
+    OverloadPolicy,
+    ShedPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "FlowConfig",
+    "OverloadPolicy",
+    "BlockPolicy",
+    "ShedPolicy",
+    "DegradePolicy",
+    "make_policy",
+    "POLICIES",
+    "CreditGate",
+    "CircuitBreaker",
+    "CheckpointStore",
+    "Checkpointer",
+    "OverloadResult",
+    "run_overload",
+]
+
+
+def __getattr__(name):
+    # ``scenario`` imports the streaming runtime, which imports this
+    # package for FlowConfig — resolve the cycle by loading it lazily.
+    if name in ("OverloadResult", "run_overload"):
+        from repro.flow import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

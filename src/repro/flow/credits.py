@@ -1,0 +1,71 @@
+"""Credit-based admission control.
+
+A :class:`CreditGate` is a bounded pool of credits shared between a
+producer and a consumer: the producer must *acquire* a credit per item
+before admitting it, the consumer *releases* credits as items complete.
+When the pool is empty the producer is told exactly how much it may
+admit (possibly zero) — backpressure is therefore explicit and lossless,
+and propagates stage by stage: the aggregator bounds the shipping
+layer's in-flight window, the shipping layer's saturation stalls the
+site's drain loop, the site's full ingest buffer throttles its sources.
+
+An ``capacity=None`` gate is unlimited (every acquire is granted) so
+call sites need no branching for the legacy unbounded configuration.
+"""
+
+from __future__ import annotations
+
+
+class CreditGate:
+    """A bounded credit pool with an observability gauge."""
+
+    __slots__ = ("capacity", "_in_use", "_gauge", "denied")
+
+    def __init__(self, capacity: int | None, gauge=None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("credit capacity must be positive (or None)")
+        self.capacity = capacity
+        self._in_use = 0
+        self._gauge = gauge
+        #: Credits requested but not granted (cumulative).
+        self.denied = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int | None:
+        """Free credits, or ``None`` for an unlimited gate."""
+        if self.capacity is None:
+            return None
+        return max(0, self.capacity - self._in_use)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.capacity is not None and self._in_use >= self.capacity
+
+    def acquire(self, n: int = 1) -> int:
+        """Take up to ``n`` credits; returns how many were granted."""
+        if n < 0:
+            raise ValueError("cannot acquire a negative credit count")
+        if self.capacity is None:
+            self._in_use += n
+            return n
+        granted = min(n, self.capacity - self._in_use)
+        granted = max(0, granted)
+        self._in_use += granted
+        self.denied += n - granted
+        self._update_gauge()
+        return granted
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` credits to the pool."""
+        if n < 0:
+            raise ValueError("cannot release a negative credit count")
+        self._in_use = max(0, self._in_use - n)
+        self._update_gauge()
+
+    def _update_gauge(self) -> None:
+        if self._gauge is not None and self.capacity is not None:
+            self._gauge.set(self.capacity - self._in_use)

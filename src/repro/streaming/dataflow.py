@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.flow.policy import FlowConfig
 from repro.streaming.batching import BatchPolicy, HybridBatchPolicy
 from repro.streaming.operators import AggregateFn, Operator, builtin_aggregate
 from repro.streaming.sources import StreamSource
@@ -59,6 +60,9 @@ class StreamJob:
     #: Wait this long after a window's first partial reaches the
     #: aggregator before emitting the merged result.
     finalize_grace: float = 5.0
+    #: Flow-control and overload behaviour (``None`` = legacy unbounded
+    #: buffers, no backpressure — exactly the pre-flow semantics).
+    flow: FlowConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.sites:

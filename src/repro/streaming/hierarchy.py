@@ -36,6 +36,8 @@ class _HubSlot:
     count: int = 0
     sites: set | None = None
     flush_scheduled: bool = False
+    #: Virtual time the hold timer fires (checkpointed for re-arming).
+    due: float = 0.0
 
 
 class HubAggregator:
@@ -69,6 +71,11 @@ class HubAggregator:
         self.duplicates_dropped = 0
         self.partials_in = 0
         self.partials_out = 0
+        #: Ticks the periodic flush was held because onward shipping was
+        #: saturated (in-flight window full / breaker open) — hub-level
+        #: backpressure: merged state keeps accumulating instead of
+        #: piling batches onto a link that cannot take them.
+        self.held_ticks = 0
         self._ticker = engine.sim.add_periodic(1.0, self._tick)
 
     def stop(self) -> None:
@@ -104,6 +111,7 @@ class HubAggregator:
             slot.sites.add(batch.origin or "?")
             if not slot.flush_scheduled:
                 slot.flush_scheduled = True
+                slot.due = self.engine.sim.now + self.hold
                 self.engine.sim.schedule(
                     self.hold, self._flush, (value.window, value.key)
                 )
@@ -126,6 +134,9 @@ class HubAggregator:
             self._ship(out)
 
     def _tick(self) -> None:
+        if getattr(self.shipping, "saturated", False):
+            self.held_ticks += 1
+            return
         out = self.batcher.maybe_flush(self.engine.sim.now)
         if out is not None:
             self._ship(out)
@@ -138,6 +149,42 @@ class HubAggregator:
 
     #: Set by the runtime: where forwarded batches land (global aggregator).
     on_delivered = staticmethod(lambda batch: None)
+
+    # -- checkpoint/restore --------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable hub state: merged slots + batch dedup set."""
+        return {
+            "seen": sorted([o, s] for (o, s) in self._seen_batches),
+            "slots": [
+                [w.start, w.end, key, s.state, s.count,
+                 sorted(s.sites or ()), s.due]
+                for (w, key), s in sorted(
+                    self._slots.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                )
+            ],
+            "partials_in": self.partials_in,
+            "partials_out": self.partials_out,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild hub state; hold timers re-arm with remaining wait."""
+        now = self.engine.sim.now
+        self._seen_batches = {(o, s) for o, s in payload["seen"]}
+        self.partials_in = payload["partials_in"]
+        self.partials_out = payload["partials_out"]
+        self._slots = {}
+        for start, end, key, state, count, sites, due in payload["slots"]:
+            slot_key = (Window(start, end), key)
+            self._slots[slot_key] = _HubSlot(
+                state=state,
+                count=count,
+                sites=set(sites),
+                flush_scheduled=True,
+                due=due,
+            )
+            self.engine.sim.schedule(
+                max(0.0, due - now), self._flush, slot_key
+            )
 
     @property
     def reduction_ratio(self) -> float:
@@ -202,6 +249,7 @@ class HierarchicalRuntime:
                 backend,
                 hub.deliver,
                 per_vm_records_per_s=per_vm_records_per_s,
+                flow=job.flow,
             )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,9 @@ from typing import Callable
 import numpy as np
 
 from repro.core.engine import SageEngine
+from repro.flow.checkpoint import Checkpointer, CheckpointStore
+from repro.flow.credits import CreditGate
+from repro.flow.policy import FlowConfig, make_policy
 from repro.streaming.batching import Batcher
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.events import Batch, Record
@@ -114,6 +117,7 @@ class SiteRuntime:
         deliver: Callable[[Batch], None],
         per_vm_records_per_s: float = 5000.0,
         tick: float = 1.0,
+        flow: FlowConfig | None = None,
     ) -> None:
         self.engine = engine
         self.job = job
@@ -121,6 +125,8 @@ class SiteRuntime:
         self.shipping = shipping
         self.deliver = deliver
         self.tick = tick
+        self.flow = flow
+        self.policy = make_policy(flow) if flow is not None else None
         vms = engine.deployment.vms(spec.region)
         if not vms:
             raise ValueError(f"no VMs deployed in site region {spec.region}")
@@ -133,10 +139,29 @@ class SiteRuntime:
         self.records_ingested = 0
         self.records_processed = 0
         self.max_backlog = 0
+        #: Overload accounting (all policies; zero when flow is off).
+        self.records_shed = 0
+        self.blocked_ticks = 0
+        self.degraded_ticks = 0
+        self.degrade_transitions = 0
+        #: Batches kept for replay after an aggregator crash — enabled
+        #: by the runtime when checkpointing is on, pruned per checkpoint.
+        self.retain_batches = False
+        self._retained: dict[int, Batch] = {}
         self._task = None
         obs = engine.observer
         self._obs_on = obs.enabled
         site = spec.region
+        #: Ingest-buffer credits: the ``block`` policy grants sources
+        #: exactly the free slots; other policies leave the gate idle.
+        self.credits = CreditGate(
+            flow.max_backlog if flow is not None else None,
+            gauge=(
+                obs.gauge("flow_ingest_credits", site=site)
+                if self._obs_on
+                else None
+            ),
+        )
         self._m_ingested = obs.counter(
             "stream_records_ingested_total", site=site
         )
@@ -152,6 +177,11 @@ class SiteRuntime:
         self._m_queue = obs.histogram(
             "stream_queue_latency_seconds", site=site
         )
+        self._m_backlog_peak = obs.gauge("stream_backlog_peak", site=site)
+        self._m_shed = obs.counter("flow_records_shed_total", site=site)
+        self._m_blocked = obs.counter("flow_blocked_ticks_total", site=site)
+        self._m_degraded = obs.counter("flow_degraded_ticks_total", site=site)
+        self._m_degrade_active = obs.gauge("flow_degrade_active", site=site)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -160,16 +190,19 @@ class SiteRuntime:
             source.start()
         self._task = self.engine.sim.add_periodic(self.tick, self._on_tick)
 
-    def stop_sources(self) -> None:
+    def stop_sources(self, drain: bool = False) -> None:
         """Stop ingestion but keep the tick loop running.
 
         Used for clean drains: with sources quiet but ticks alive, the
         watermark keeps advancing, every open window closes, and the
         batcher flushes — so "all ingested records counted" can be
         asserted exactly (the fault-recovery experiments rely on it).
+        With ``drain``, sources with deferred records (``block``) keep
+        offering them until admitted instead of freezing the pending
+        buffer — and with it the site watermark — in place.
         """
         for source in self.spec.sources:
-            source.stop()
+            source.stop(drain=drain)
 
     def stop(self) -> None:
         self.stop_sources()
@@ -177,29 +210,83 @@ class SiteRuntime:
             self._task.stop()
             self._task = None
 
-    def ingest(self, records: list[Record]) -> None:
-        self.records_ingested += len(records)
-        self._backlog.extend(records)
-        self.max_backlog = max(self.max_backlog, len(self._backlog))
+    def ingest(self, records: list[Record]) -> int:
+        """Offer records to the site; returns how many were accepted.
+
+        Under the ``block`` policy fewer than offered may be accepted —
+        sources defer the rejected tail. Without a flow config (legacy)
+        or under ``shed``/``degrade`` everything is accepted (the latter
+        two bound the buffer internally, counting what they drop).
+        """
+        if self.policy is None:
+            self._backlog.extend(records)
+            accepted = len(records)
+        else:
+            accepted = self.policy.admit(self, records)
+        self.records_ingested += accepted
+        if len(self._backlog) > self.max_backlog:
+            self.max_backlog = len(self._backlog)
+            if self._obs_on:
+                self._m_backlog_peak.set(self.max_backlog)
+        if self._obs_on and accepted:
+            self._m_ingested.inc(accepted)
+        return accepted
+
+    # -- overload-policy hooks (called by repro.flow.policy) -----------
+    def count_shed(self, n: int) -> None:
+        self.records_shed += n
         if self._obs_on:
-            self._m_ingested.inc(len(records))
+            self._m_shed.inc(n)
+
+    def count_blocked_tick(self) -> None:
+        self.blocked_ticks += 1
+        if self._obs_on:
+            self._m_blocked.inc()
+
+    def count_degraded_tick(self) -> None:
+        self.degraded_ticks += 1
+        if self._obs_on:
+            self._m_degraded.inc()
+
+    def count_degrade(self, active: bool) -> None:
+        self.degrade_transitions += 1
+        if self._obs_on:
+            self._m_degrade_active.set(1 if active else 0)
+
+    @property
+    def flow_rng(self) -> np.random.Generator:
+        """Named RNG stream for sampling decisions (deterministic)."""
+        return self.engine.sim.rngs.get(f"flow/{self.spec.region}")
 
     # ------------------------------------------------------------------
     def _on_tick(self) -> None:
         now = self.engine.sim.now
         budget = int(self.capacity_per_tick)
+        if self.policy is not None:
+            budget = self.policy.drain_budget(self, budget)
         processed = 0
         while self._backlog and processed < budget:
             record = self._backlog.popleft()
             processed += 1
             self._process(record, now)
         self.records_processed += processed
+        if processed:
+            # Freed ingest slots return to the credit pool (no-op for
+            # policies that never acquire).
+            self.credits.release(processed)
         # The watermark follows the *processed* stream: under overload it
         # is held back by the oldest unprocessed record, so backlog delay
         # shows up as extra window latency (windows close later).
         watermark = now - self.job.watermark_lag
         if self._backlog:
             watermark = min(watermark, self._backlog[0].event_time)
+        for source in self.spec.sources:
+            oldest = source.oldest_pending_time
+            if oldest is not None:
+                # Records deferred by admission control hold the
+                # watermark exactly like backlogged ones: deferral must
+                # surface as latency, never as late-drops.
+                watermark = min(watermark, oldest)
         watermark = max(watermark, self._watermark)
         self._watermark = watermark
         partials = self.aggregator.advance_watermark(watermark)
@@ -224,9 +311,10 @@ class SiteRuntime:
                 )
         for partial in partials:
             self._emit(partial, now)
-        out = self.batcher.maybe_flush(now)
-        if out is not None:
-            self._ship(out)
+        if self.policy is None or self.policy.flush_allowed(self):
+            out = self.batcher.maybe_flush(now)
+            if out is not None:
+                self._ship(out)
 
     def _process(self, record: Record, now: float) -> None:
         pending = [record]
@@ -249,21 +337,83 @@ class SiteRuntime:
             self._ship(batch)
 
     def _ship(self, batch: Batch) -> None:
+        if self.retain_batches:
+            self._retained[batch.seq] = batch
         self.shipping.ship(batch, self.deliver)
 
     @property
     def backlog(self) -> int:
         return len(self._backlog)
 
+    @property
+    def retained_batches(self) -> int:
+        return len(self._retained)
+
+    # -- crash-recovery support ----------------------------------------
+    def prune_retained(self, covered_seqs) -> int:
+        """Forget retained batches a checkpoint's seen-set covers.
+
+        Once the aggregator has durably recorded ``(origin, seq)`` as
+        merged, this site will never be asked to replay that batch.
+        """
+        before = len(self._retained)
+        for seq in list(self._retained):
+            if seq in covered_seqs:
+                del self._retained[seq]
+        return before - len(self._retained)
+
+    def replay_retained(self) -> int:
+        """Re-ship every retained batch (after an aggregator restart).
+
+        Replays overlap whatever the at-least-once layer still has in
+        flight; the aggregator's ``(origin, seq)`` dedup absorbs the
+        duplicates, so replaying everything unpruned is always safe.
+        """
+        for seq in sorted(self._retained):
+            self.shipping.ship(self._retained[seq], self.deliver)
+        return len(self._retained)
+
+    # -- checkpoint/restore --------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable window state (backlog stays at the source
+        of truth: retained batches + at-least-once shipping)."""
+        return {
+            "watermark": (
+                None
+                if self._watermark == -float("inf")
+                else self._watermark
+            ),
+            "aggregator": self.aggregator.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        wm = payload["watermark"]
+        self._watermark = -float("inf") if wm is None else wm
+        self.aggregator.restore(payload["aggregator"])
+
+    def restart(self) -> None:
+        """Resume a stopped site; peak-backlog stats start afresh."""
+        self.max_backlog = len(self._backlog)
+        if self._obs_on:
+            self._m_backlog_peak.set(self.max_backlog)
+        for source in self.spec.sources:
+            if not source.running and source.sink is not None:
+                source.start()
+        if self._task is None:
+            self._task = self.engine.sim.add_periodic(self.tick, self._on_tick)
+
 
 class _PendingWindowKey:
-    __slots__ = ("state", "count", "sites", "emit_scheduled")
+    __slots__ = ("state", "count", "sites", "emit_scheduled", "due")
 
     def __init__(self) -> None:
         self.state = None
         self.count = 0
         self.sites: set[str] = set()
         self.emit_scheduled = False
+        #: Virtual time the finalize timer fires — checkpointed so a
+        #: restored aggregator re-arms the timer with the remaining wait.
+        self.due = 0.0
 
 
 class GlobalAggregator:
@@ -273,7 +423,19 @@ class GlobalAggregator:
         self.engine = engine
         self.job = job
         self.results: list[WindowResult] = []
+        #: Exactly-once mode: results finalized since the last checkpoint.
+        #: They move to ``results`` when :meth:`checkpoint` commits them
+        #: (the transactional-sink half of exactly-once); a crash in
+        #: between loses them, and replay re-derives them.
+        self.uncommitted: list[WindowResult] = []
+        self.exactly_once = False
+        #: Set by the runtime when this instance is killed, so its
+        #: still-scheduled finalize timers become no-ops.
+        self.crashed = False
         self.late_partials = 0
+        #: Raw records inside late partials — the exact record count the
+        #: late path cost, so overload accounting can balance to zero.
+        self.late_partial_records = 0
         self.raw_records = 0
         #: Batches discarded as duplicates of an already-merged delivery.
         self.duplicates_dropped = 0
@@ -321,6 +483,7 @@ class GlobalAggregator:
         slot = (pa.window, pa.key)
         if slot in self._emitted:
             self.late_partials += 1
+            self.late_partial_records += pa.count
             self._m_late.inc()
             return
         pending = self._pending.get(slot)
@@ -334,11 +497,14 @@ class GlobalAggregator:
         pending.sites.add(origin or "?")
         if not pending.emit_scheduled:
             pending.emit_scheduled = True
+            pending.due = now + self.job.finalize_grace
             self.engine.sim.schedule(
                 self.job.finalize_grace, self._finalize, slot
             )
 
     def _finalize(self, slot: tuple[Window, str]) -> None:
+        if self.crashed:
+            return
         pending = self._pending.pop(slot, None)
         if pending is None or pending.state is None:  # pragma: no cover
             return
@@ -354,7 +520,8 @@ class GlobalAggregator:
 
     def _finalize_now(self, window, key, state, count, sites, now) -> None:
         self._emitted.add((window, key))
-        self.results.append(
+        sink = self.uncommitted if self.exactly_once else self.results
+        sink.append(
             WindowResult(
                 window=window,
                 key=key,
@@ -380,7 +547,73 @@ class GlobalAggregator:
             )
 
     def latency_stats(self) -> LatencyStats:
-        return LatencyStats.from_results(self.results)
+        return LatencyStats.from_results(self.results + self.uncommitted)
+
+    # -- checkpoint/restore --------------------------------------------
+    def checkpoint(self) -> dict:
+        """Commit uncommitted results; return a restorable snapshot.
+
+        The commit makes the snapshot and the externally visible results
+        agree: a window result leaves the process at the checkpoint that
+        records its (window, key) as emitted. A crash therefore can
+        neither lose a result the outside world has seen nor re-emit one
+        — replayed partials for committed windows hit ``_emitted`` and
+        are counted late, not emitted twice.
+        """
+        self.results.extend(self.uncommitted)
+        self.uncommitted.clear()
+        return {
+            "emitted": sorted(
+                [w.start, w.end, k] for (w, k) in self._emitted
+            ),
+            "seen": sorted([o, s] for (o, s) in self._seen_batches),
+            "pending": [
+                [w.start, w.end, key, p.state, p.count,
+                 sorted(p.sites), p.due]
+                for (w, key), p in sorted(
+                    self._pending.items(),
+                    key=lambda kv: (kv[0][0], kv[0][1]),
+                )
+            ],
+            "raw": self._raw_aggregator.snapshot(),
+            "counters": {
+                "late_partials": self.late_partials,
+                "late_partial_records": self.late_partial_records,
+                "raw_records": self.raw_records,
+                "duplicates_dropped": self.duplicates_dropped,
+            },
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild from a :meth:`checkpoint` payload after a restart.
+
+        Finalize timers lost in the crash are re-armed with each pending
+        window's remaining grace (zero if its due time already passed).
+        """
+        now = self.engine.sim.now
+        self._emitted = {
+            (Window(s, e), k) for s, e, k in payload["emitted"]
+        }
+        self._seen_batches = {(o, q) for o, q in payload["seen"]}
+        counters = payload["counters"]
+        self.late_partials = counters["late_partials"]
+        self.late_partial_records = counters["late_partial_records"]
+        self.raw_records = counters["raw_records"]
+        self.duplicates_dropped = counters["duplicates_dropped"]
+        self._raw_aggregator.restore(payload["raw"])
+        self._pending = {}
+        for start, end, key, state, count, sites, due in payload["pending"]:
+            pending = _PendingWindowKey()
+            pending.state = state
+            pending.count = count
+            pending.sites = set(sites)
+            pending.emit_scheduled = True
+            pending.due = due
+            slot = (Window(start, end), key)
+            self._pending[slot] = pending
+            self.engine.sim.schedule(
+                max(0.0, due - now), self._finalize, slot
+            )
 
 
 class GeoStreamRuntime:
@@ -392,9 +625,11 @@ class GeoStreamRuntime:
         job: StreamJob,
         shipping_factory,
         per_vm_records_per_s: float = 5000.0,
+        flow: FlowConfig | None = None,
     ) -> None:
         self.engine = engine
         self.job = job
+        self.flow = flow if flow is not None else job.flow
         agg_vms = engine.deployment.vms(job.aggregation_region)
         if not agg_vms:
             raise ValueError(
@@ -402,6 +637,16 @@ class GeoStreamRuntime:
             )
         self.agg_vm = agg_vms[0]
         self.aggregator = GlobalAggregator(engine, job)
+        #: Aggregator process liveness: while False, transport-level
+        #: deliveries are dropped at the door (and recovered by replay).
+        self._agg_up = True
+        #: Results committed by aggregator instances that later crashed
+        #: — they survive because commit handed them to the outside.
+        self._delivered_results: list[WindowResult] = []
+        self.batches_dropped_while_down = 0
+        self.aggregator_crashes = 0
+        self.checkpoint_store: CheckpointStore | None = None
+        self._checkpointer: Checkpointer | None = None
         self.sites: dict[str, SiteRuntime] = {}
         for spec in job.sites:
             src_vms = engine.deployment.vms(spec.region)
@@ -411,9 +656,19 @@ class GeoStreamRuntime:
                 job,
                 spec,
                 backend,
-                self.aggregator.deliver,
+                self._deliver,
                 per_vm_records_per_s=per_vm_records_per_s,
+                flow=self.flow,
             )
+
+    def _deliver(self, batch: Batch) -> None:
+        if not self._agg_up:
+            # The transport delivered and the ack stands (at-least-once
+            # is the link's contract, not the process's); the batch is
+            # recovered from its origin site's retention replay.
+            self.batches_dropped_while_down += 1
+            return
+        self.aggregator.deliver(batch)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -423,6 +678,84 @@ class GeoStreamRuntime:
     def stop(self) -> None:
         for site in self.sites.values():
             site.stop()
+        if self._checkpointer is not None:
+            self._checkpointer.stop()
+
+    # -- checkpointing and crash recovery ------------------------------
+    def enable_checkpointing(
+        self,
+        store: CheckpointStore | None = None,
+        interval: float = 15.0,
+    ) -> Checkpointer:
+        """Turn on periodic snapshots and exactly-once emission.
+
+        Every ``interval`` seconds of virtual time the aggregator
+        commits its uncommitted results and snapshots; each site
+        snapshots its window state. Sites start retaining shipped
+        batches, pruned down to those the latest checkpoint does not
+        cover — the replay set an aggregator restart needs.
+        """
+        if self._checkpointer is not None:
+            return self._checkpointer
+        self.checkpoint_store = store if store is not None else CheckpointStore()
+        self.aggregator.exactly_once = True
+        for site in self.sites.values():
+            site.retain_batches = True
+        checkpointer = Checkpointer(
+            self.engine, self.checkpoint_store, interval
+        )
+        checkpointer.register("aggregator", self._checkpoint_aggregator)
+        for region, site in self.sites.items():
+            checkpointer.register(f"site/{region}", site.snapshot)
+        self._checkpointer = checkpointer
+        checkpointer.start()
+        return checkpointer
+
+    def _checkpoint_aggregator(self) -> dict | None:
+        if not self._agg_up:
+            # Skip the round; retention keeps growing until restart.
+            return None
+        payload = self.aggregator.checkpoint()
+        covered: dict[str, set[int]] = {}
+        for origin, seq in payload["seen"]:
+            covered.setdefault(origin, set()).add(seq)
+        for region, site in self.sites.items():
+            site.prune_retained(covered.get(region, set()))
+        return payload
+
+    def crash_aggregator(self) -> None:
+        """Kill the aggregator process: volatile state and timers die.
+
+        Results committed at earlier checkpoints already left through
+        the transactional sink and survive; uncommitted ones are lost
+        here and re-derived after restart from checkpoint + replay.
+        """
+        if not self._agg_up:
+            return
+        self._agg_up = False
+        self.aggregator_crashes += 1
+        old = self.aggregator
+        old.crashed = True  # disarm its outstanding finalize timers
+        self._delivered_results.extend(old.results)
+        old.results = []
+
+    def restart_aggregator(self) -> None:
+        """Boot a fresh aggregator from the last checkpoint, then replay."""
+        if self._agg_up:
+            return
+        self.aggregator = GlobalAggregator(self.engine, self.job)
+        if self.checkpoint_store is not None:
+            self.aggregator.exactly_once = True
+            payload = self.checkpoint_store.load("aggregator")
+            if payload is not None:
+                self.aggregator.restore(payload)
+        self._agg_up = True
+        for site in self.sites.values():
+            site.replay_retained()
+
+    @property
+    def aggregator_up(self) -> bool:
+        return self._agg_up
 
     def run_for(self, duration: float) -> None:
         """Convenience: start, run, stop, and let in-flight work land."""
@@ -437,16 +770,32 @@ class GeoStreamRuntime:
     # ------------------------------------------------------------------
     @property
     def results(self) -> list[WindowResult]:
-        return self.aggregator.results
+        """Every result delivered to the outside world, crashes included."""
+        return (
+            self._delivered_results
+            + self.aggregator.results
+            + self.aggregator.uncommitted
+        )
 
     def latency_stats(self) -> LatencyStats:
-        return self.aggregator.latency_stats()
+        return LatencyStats.from_results(self.results)
 
     def wan_bytes(self) -> float:
         return sum(site.shipping.bytes_shipped for site in self.sites.values())
 
     def records_ingested(self) -> int:
         return sum(site.records_ingested for site in self.sites.values())
+
+    def records_shed(self) -> int:
+        """Records all sites dropped under overload (site + shipping)."""
+        return sum(site.records_shed for site in self.sites.values()) + sum(
+            getattr(site.shipping, "records_shed", 0)
+            for site in self.sites.values()
+        )
+
+    def records_in_results(self) -> int:
+        """Raw records accounted for by emitted window results."""
+        return sum(r.record_count for r in self.results)
 
     def throughput(self, duration: float) -> float:
         """Processed records per second of virtual time."""

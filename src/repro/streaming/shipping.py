@@ -24,6 +24,7 @@ resources; backends without one return ``None``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Protocol
 
 from repro.cloud.vm import VM
@@ -342,7 +343,7 @@ class _Delivery:
     """Tracking state of one batch inside :class:`ReliableShipping`."""
 
     __slots__ = ("batch", "on_delivered", "attempt", "acked", "abandoned",
-                 "handle")
+                 "cancelled", "handle", "timer", "parked", "active")
 
     def __init__(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.batch = batch
@@ -350,7 +351,42 @@ class _Delivery:
         self.attempt = 0
         self.acked = False
         self.abandoned = False
+        self.cancelled = False
         self.handle = None
+        #: The pending timeout/retry timer event (cancellable).
+        self.timer = None
+        #: Waiting for an in-flight slot or a closed breaker.
+        self.parked = False
+        #: Currently occupying an in-flight slot.
+        self.active = False
+
+    @property
+    def finished(self) -> bool:
+        return self.acked or self.abandoned or self.cancelled
+
+
+class ReliableHandle:
+    """Cancellable handle for a :class:`ReliableShipping` delivery.
+
+    ``cancel()`` stops the *whole* delivery, not just the current
+    attempt: the pending timeout/retry timer is cancelled, the inner
+    transfer (if any) is cancelled so its network resources free up,
+    and the delivery is removed from the in-flight map — a cancelled
+    batch can never be retried again nor consume WAN capacity.
+    """
+
+    __slots__ = ("_shipping", "_delivery")
+
+    def __init__(self, shipping: "ReliableShipping", delivery: _Delivery):
+        self._shipping = shipping
+        self._delivery = delivery
+
+    @property
+    def cancelled(self) -> bool:
+        return self._delivery.cancelled
+
+    def cancel(self) -> None:
+        self._shipping._cancel(self._delivery)
 
 
 class ReliableShipping:
@@ -371,6 +407,19 @@ class ReliableShipping:
     At-least-once means duplicates are possible by design (a late first
     copy can land after its retry was already sent); the global
     aggregator removes them by ``(origin, seq)``.
+
+    Flow control (all optional, off by default):
+
+    * ``max_inflight`` bounds concurrently attempting deliveries — the
+      credit window the receiver side grants this link. Excess batches
+      *park* in FIFO order and dispatch as slots free up.
+    * ``breaker`` (a :class:`repro.flow.CircuitBreaker`) gates attempts:
+      while open, batches park instead of being queued into a link the
+      failure detector or consecutive timeouts have declared dead, and a
+      half-open probe re-opens the flow when the link heals.
+    * ``max_pending`` bounds the parked queue; on overflow the *oldest*
+      parked delivery is shed (counted, with its record count) so a dead
+      link cannot grow memory without bound under the ``shed`` policy.
     """
 
     def __init__(
@@ -382,28 +431,60 @@ class ReliableShipping:
         backoff_base: float = 2.0,
         backoff_cap: float = 60.0,
         name: str | None = None,
+        max_inflight: int | None = None,
+        max_pending: int | None = None,
+        breaker=None,
     ) -> None:
         if delivery_timeout <= 0:
             raise ValueError("delivery_timeout must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError("max_inflight must be positive (or None)")
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError("max_pending must be positive (or None)")
         self.engine = engine
         self.inner = inner
         self.delivery_timeout = delivery_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
-        self._rng = engine.sim.rngs.get(
-            f"reliable/{name or type(inner).__name__}"
-        )
+        self.name = name or type(inner).__name__
+        self._rng = engine.sim.rngs.get(f"reliable/{self.name}")
         self.retries = 0
         self.abandoned = 0
         self.acked = 0
+        self.cancels = 0
         self.duplicates_delivered = 0
+        # Flow control -------------------------------------------------
+        from repro.flow.credits import CreditGate
+
+        self.max_inflight = max_inflight
+        self.max_pending = max_pending
+        self.breaker = breaker
+        self.batches_shed = 0
+        self.records_shed = 0
+        self.records_abandoned = 0
         obs = engine.observer
+        self._credits = CreditGate(
+            max_inflight,
+            gauge=(
+                obs.gauge("flow_credits_available", link=self.name)
+                if obs.enabled and max_inflight is not None
+                else None
+            ),
+        )
+        #: All unfinished deliveries, keyed by ``(origin, seq)``.
+        self._inflight: dict[tuple[str, int], _Delivery] = {}
+        #: Deliveries waiting for a slot / closed breaker, FIFO.
+        self._parked: deque[_Delivery] = deque()
+        self._probe_scheduled = False
         self._m_retries = obs.counter("ship_retries_total")
         self._m_abandoned = obs.counter("ship_batches_abandoned_total")
         self._m_duplicates = obs.counter("ship_duplicates_delivered_total")
+        self._m_parked = obs.counter("ship_batches_parked_total")
+        self._m_shed = obs.counter("ship_batches_shed_total")
+        self._m_cancelled = obs.counter("ship_batches_cancelled_total")
 
     # Cost accounting stays the inner backend's: retries pass through it.
     @property
@@ -414,10 +495,131 @@ class ReliableShipping:
     def batches_shipped(self) -> int:
         return self.inner.batches_shipped
 
-    def ship(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
-        self._attempt(_Delivery(batch, on_delivered))
+    @property
+    def inflight(self) -> int:
+        """Deliveries currently occupying an in-flight slot."""
+        return self._credits.in_use
+
+    @property
+    def parked(self) -> int:
+        return len(self._parked)
+
+    @property
+    def saturated(self) -> bool:
+        """Upstream should stop producing: the credit window is full and
+        batches are already queueing behind it (or an open breaker)."""
+        return self._credits.exhausted and bool(self._parked)
+
+    def ship(
+        self, batch: Batch, on_delivered: DeliveryCallback
+    ) -> ReliableHandle:
+        existing = self._inflight.get((batch.origin, batch.seq))
+        if existing is not None and not existing.finished:
+            # Idempotent re-ship (crash-recovery replay overlaps the
+            # original delivery): the pending delivery already covers it.
+            return ReliableHandle(self, existing)
+        d = _Delivery(batch, on_delivered)
+        self._inflight[(batch.origin, batch.seq)] = d
+        self._dispatch(d)
+        return ReliableHandle(self, d)
 
     # ------------------------------------------------------------------
+    def _dispatch(self, d: _Delivery) -> None:
+        """Attempt now if a slot is free and the breaker allows; else park."""
+        if d.finished:
+            return
+        if self.breaker is not None and not self.breaker.allow():
+            self._park(d)
+            self._schedule_probe()
+            return
+        if self._credits.acquire(1) == 0:
+            self._park(d)
+            return
+        d.active = True
+        self._attempt(d)
+
+    def _park(self, d: _Delivery) -> None:
+        d.parked = True
+        self._parked.append(d)
+        self._m_parked.inc()
+        if self.max_pending is not None:
+            while len(self._parked) > self.max_pending:
+                oldest = self._parked.popleft()
+                oldest.parked = False
+                if oldest.finished:
+                    continue
+                # Bounded shipping buffer: shed the oldest parked batch
+                # (quantified loss) rather than grow without limit.
+                oldest.cancelled = True
+                self._finish(oldest)
+                self.batches_shed += 1
+                self.records_shed += _record_weight(oldest.batch)
+                self._m_shed.inc()
+
+    def _schedule_probe(self) -> None:
+        """Wake the parked queue when the breaker's probe window opens.
+
+        Only needed while the breaker is *open*: in half-open the probe
+        attempt is already in flight, and its ack or timeout frees a slot
+        and pumps the queue.
+        """
+        if self._probe_scheduled or self.breaker is None:
+            return
+        delay = self.breaker.probe_delay()
+        if delay <= 0.0:
+            return
+        self._probe_scheduled = True
+
+        def _probe() -> None:
+            self._probe_scheduled = False
+            self._pump()
+
+        self.engine.sim.schedule(delay, _probe)
+
+    def _pump(self) -> None:
+        """Dispatch parked deliveries into freed slots."""
+        while self._parked:
+            if self.breaker is not None and not self.breaker.allow():
+                self._schedule_probe()
+                return
+            if self._credits.exhausted:
+                return
+            d = self._parked.popleft()
+            d.parked = False
+            if d.finished:
+                continue
+            self._credits.acquire(1)
+            d.active = True
+            self._attempt(d)
+
+    def _release_slot(self, d: _Delivery) -> None:
+        if d.active:
+            d.active = False
+            self._credits.release(1)
+            self._pump()
+
+    def _finish(self, d: _Delivery) -> None:
+        """Delivery reached a terminal state: free its slot and map entry."""
+        if d.timer is not None:
+            d.timer.cancel()
+            d.timer = None
+        if d.handle is not None and hasattr(d.handle, "cancel"):
+            d.handle.cancel()
+        d.handle = None
+        self._release_slot(d)
+        key = (d.batch.origin, d.batch.seq)
+        if self._inflight.get(key) is d:
+            del self._inflight[key]
+
+    def _cancel(self, d: _Delivery) -> None:
+        """Abort a delivery entirely (see :class:`ReliableHandle`)."""
+        if d.finished:
+            return
+        d.cancelled = True
+        self.cancels += 1
+        self._m_cancelled.inc()
+        self._finish(d)
+
     def _attempt(self, d: _Delivery) -> None:
         d.attempt += 1
         attempt_no = d.attempt
@@ -427,6 +629,10 @@ class ReliableShipping:
             verdict = faults.intercept_batch(d.batch.origin, d.batch.seq)
 
         def _arrived(batch: Batch) -> None:
+            if d.cancelled:
+                # Cancelled mid-flight: the copy still physically lands,
+                # but the delivery no longer exists — drop silently.
+                return
             if d.acked:
                 # A retry already delivered this batch; the late copy
                 # still reaches the receiver — dedup removes it there.
@@ -440,28 +646,40 @@ class ReliableShipping:
                 return
             d.acked = True
             self.acked += 1
-            d.on_delivered(batch)
+            if self.breaker is not None:
+                self.breaker.record_success()
+            cb = d.on_delivered
+            self._finish(d)
+            cb(batch)
             if verdict == "duplicate":
                 self.duplicates_delivered += 1
                 self._m_duplicates.inc()
-                d.on_delivered(batch)
+                cb(batch)
 
         d.handle = self.inner.ship(d.batch, _arrived)
-        self.engine.sim.schedule(
+        d.timer = self.engine.sim.schedule(
             self.delivery_timeout, self._on_timeout, d, attempt_no
         )
 
     def _on_timeout(self, d: _Delivery, attempt_no: int) -> None:
-        if d.acked or d.abandoned or d.attempt != attempt_no:
+        if d.finished or d.attempt != attempt_no:
             return
+        d.timer = None
         handle = d.handle
         if handle is not None and hasattr(handle, "cancel"):
             handle.cancel()
         d.handle = None
+        # The attempt is over either way: free the slot (and the network)
+        # before the backoff, so other batches can use the link meanwhile.
+        self._release_slot(d)
+        if self.breaker is not None:
+            self.breaker.record_failure()
         if d.attempt > self.max_retries:
             d.abandoned = True
             self.abandoned += 1
+            self.records_abandoned += _record_weight(d.batch)
             self._m_abandoned.inc()
+            self._finish(d)
             return
         self.retries += 1
         self._m_retries.inc()
@@ -471,12 +689,13 @@ class ReliableShipping:
         # Jitter in [0.5, 1.5): retries of batches lost together do not
         # re-collide on the recovering link.
         delay *= 0.5 + self._rng.random()
-        self.engine.sim.schedule(delay, self._retry, d)
+        d.timer = self.engine.sim.schedule(delay, self._retry, d)
 
     def _retry(self, d: _Delivery) -> None:
-        if d.acked or d.abandoned:
+        if d.finished:
             return
-        self._attempt(d)
+        d.timer = None
+        self._dispatch(d)
 
     @classmethod
     def factory(
@@ -486,10 +705,30 @@ class ReliableShipping:
         max_retries: int = 6,
         backoff_base: float = 2.0,
         backoff_cap: float = 60.0,
+        max_inflight: int | None = None,
+        max_pending: int | None = None,
+        breaker: bool = False,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
     ):
-        """Wrap another backend factory with at-least-once delivery."""
+        """Wrap another backend factory with at-least-once delivery.
+
+        ``breaker=True`` attaches a per-link circuit breaker wired to the
+        engine's fault bus (see :class:`repro.flow.CircuitBreaker`).
+        """
 
         def build(engine: SageEngine, src_vms: list[VM], dst_vm: VM):
+            link = (src_vms[0].region_code, dst_vm.region_code)
+            brk = None
+            if breaker:
+                from repro.flow.breaker import CircuitBreaker
+
+                brk = CircuitBreaker(
+                    engine,
+                    link=link,
+                    failure_threshold=breaker_threshold,
+                    reset_timeout=breaker_reset,
+                )
             return cls(
                 engine,
                 inner_factory(engine, src_vms, dst_vm),
@@ -497,10 +736,24 @@ class ReliableShipping:
                 max_retries=max_retries,
                 backoff_base=backoff_base,
                 backoff_cap=backoff_cap,
-                name=f"{src_vms[0].region_code}->{dst_vm.region_code}",
+                name=f"{link[0]}->{link[1]}",
+                max_inflight=max_inflight,
+                max_pending=max_pending,
+                breaker=brk,
             )
 
         return build
+
+
+def _record_weight(batch: Batch) -> int:
+    """Raw-record count a batch carries (partials weigh their fold count)."""
+    from repro.streaming.operators import PartialAggregate
+
+    total = 0
+    for record in batch.records:
+        value = record.value
+        total += value.count if isinstance(value, PartialAggregate) else 1
+    return total
 
 
 class UdpShipping:

@@ -4,6 +4,14 @@ Each source is attached to one site of the runtime and emits records into
 it on simulator time. Emission is batched per tick (default one second of
 virtual time) — event times are drawn inside the tick, so event-time
 semantics stay exact while the event count stays tractable at high rates.
+
+Sources participate in credit-based backpressure: a sink may return the
+number of records it admitted (anything less than offered means the site's
+ingest buffer is full under the ``block`` overload policy). The rejected
+tail is *deferred* — held in the source's pending buffer with its original
+event times and re-offered first on the next tick — so a throttled source
+loses nothing; the deferral simply shows up as end-to-end latency.
+Sinks returning ``None`` (the historical contract) admit everything.
 """
 
 from __future__ import annotations
@@ -38,8 +46,14 @@ class StreamSource:
         self.record_bytes = record_bytes
         self.sink: Callable[[list[Record]], None] | None = None
         self.origin: str = ""
+        #: Records the sink accepted (deferred records count on delivery).
         self.records_emitted = 0
+        #: Sink-rejected records awaiting re-offer (block backpressure).
+        self._pending: list[Record] = []
+        #: High-water mark of the pending buffer.
+        self.max_deferred = 0
         self._task: PeriodicTask | None = None
+        self._draining = False
         self._sim: Simulator | None = None
 
     # ------------------------------------------------------------------
@@ -52,10 +66,28 @@ class StreamSource:
         if self._sim is None or self.sink is None:
             raise RuntimeError("source must be attached to a site first")
         if self._task is not None:
+            if self._draining:  # resume a draining source in place
+                self._draining = False
+                return
             raise RuntimeError("source already started")
+        self._draining = False
         self._task = self._sim.add_periodic(self.tick, self._fire)
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = False) -> None:
+        """Stop the source; with ``drain``, finish delivering first.
+
+        Under ``block`` the pending buffer may hold deferred records,
+        and the site watermark is pinned at their oldest event time —
+        a hard stop would therefore leave every later window open (and
+        their already-admitted records unemitted) forever. ``drain``
+        keeps the tick firing without generating fresh records, re-
+        offering the deferred tail until the site admits all of it,
+        then retires the task.
+        """
+        if drain and self._pending and self._task is not None:
+            self._draining = True
+            return
+        self._draining = False
         if self._task is not None:
             self._task.stop()
             self._task = None
@@ -63,10 +95,40 @@ class StreamSource:
     def _fire(self) -> None:
         assert self._sim is not None and self.sink is not None
         t0 = self._sim.now - self.tick
-        records = self._emit_tick(t0, self._sim.now)
-        if records:
-            self.records_emitted += len(records)
-            self.sink(records)
+        fresh = [] if self._draining else self._emit_tick(t0, self._sim.now)
+        records = self._pending + fresh if self._pending else fresh
+        if not records:
+            if self._draining:
+                self.stop()
+            return
+        accepted = self.sink(records)
+        if accepted is None:  # legacy sink: everything admitted
+            accepted = len(records)
+        self.records_emitted += accepted
+        self._pending = records[accepted:]
+        if len(self._pending) > self.max_deferred:
+            self.max_deferred = len(self._pending)
+        if self._draining and not self._pending:
+            self.stop()
+
+    @property
+    def pending_count(self) -> int:
+        """Deferred records still waiting for ingest credits."""
+        return len(self._pending)
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    @property
+    def oldest_pending_time(self) -> float | None:
+        """Event time of the oldest deferred record (None if empty).
+
+        The site's watermark must not pass this: a deferred record is
+        *admitted late by the site's own choice*, and turning that into
+        a late-drop would make the ``block`` policy lossy.
+        """
+        return self._pending[0].event_time if self._pending else None
 
     def _emit_tick(self, t0: float, t1: float) -> list[Record]:
         raise NotImplementedError  # pragma: no cover - abstract
@@ -274,3 +336,77 @@ class TraceSource(StreamSource):
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self.trace)
+
+
+class BurstSource(StreamSource):
+    """Poisson arrivals with one scripted overload burst.
+
+    Emits at ``base_rate`` except inside ``[burst_start, burst_end)``,
+    where the rate jumps to ``burst_rate``. Unlike :class:`MmppSource`
+    the burst window is part of the schedule, not random — the overload
+    experiments need the 5× spike at a known time so backpressure,
+    shedding, and recovery can be asserted against it deterministically.
+
+    The burst window is *relative to the source's first tick* (like
+    fault-plan times are relative to arming), so the scenario means the
+    same thing regardless of how long the engine warmed up before.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_rate: float,
+        burst_rate: float,
+        burst_start: float,
+        burst_end: float,
+        keys: list[str] | None = None,
+        tick: float = 1.0,
+        record_bytes: float = 200.0,
+    ) -> None:
+        super().__init__(name, tick, record_bytes)
+        if base_rate < 0 or burst_rate <= 0:
+            raise ValueError("rates must be positive (base may be zero)")
+        if burst_end <= burst_start:
+            raise ValueError("burst window must have positive length")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.burst_start = burst_start
+        self.burst_end = burst_end
+        self.keys = keys or ["k0"]
+        self._origin_time: float | None = None
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at virtual time ``t`` (after the source started)."""
+        origin = self._origin_time if self._origin_time is not None else 0.0
+        if origin + self.burst_start <= t < origin + self.burst_end:
+            return self.burst_rate
+        return self.base_rate
+
+    def _emit_tick(self, t0: float, t1: float) -> list[Record]:
+        rng = self._rng()
+        if self._origin_time is None:
+            self._origin_time = t0
+        # Integrate the piecewise-constant rate over the tick so a tick
+        # straddling a burst boundary draws the exact expected count.
+        lo = self._origin_time + self.burst_start
+        hi = self._origin_time + self.burst_end
+        burst_overlap = max(0.0, min(t1, hi) - max(t0, lo))
+        mean = (
+            self.base_rate * ((t1 - t0) - burst_overlap)
+            + self.burst_rate * burst_overlap
+        )
+        n = rng.poisson(mean) if mean > 0 else 0
+        if n == 0:
+            return []
+        times = np.sort(rng.uniform(t0, t1, n))
+        key_idx = rng.integers(0, len(self.keys), n)
+        return [
+            Record(
+                event_time=float(times[i]),
+                key=self.keys[key_idx[i]],
+                value=float(rng.normal()),
+                origin=self.origin,
+                size_bytes=self.record_bytes,
+            )
+            for i in range(n)
+        ]
