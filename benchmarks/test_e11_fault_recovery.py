@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis.experiments import ExperimentRecord
 from repro.analysis.tables import render_table
+from repro.config import ChaosConfig
 from repro.faults import run_chaos
 from repro.simulation.units import KB
 
@@ -23,8 +24,8 @@ DURATION = 240.0
 
 
 def run_e11():
-    faulty = run_chaos(seed=SEED, duration=DURATION)
-    baseline = run_chaos(seed=SEED, duration=DURATION, inject=False)
+    faulty = run_chaos(ChaosConfig(seed=SEED, duration=DURATION))
+    baseline = run_chaos(ChaosConfig(seed=SEED, duration=DURATION, inject=False))
     return faulty, baseline
 
 

@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis.experiments import ExperimentRecord
 from repro.analysis.tables import render_table
+from repro.config import OverloadConfig
 from repro.flow import run_overload
 from repro.simulation.units import KB
 
@@ -23,8 +24,8 @@ DURATION = 240.0
 
 
 def run_e12():
-    block = run_overload(policy="block", seed=SEED, duration=DURATION)
-    shed = run_overload(policy="shed", seed=SEED, duration=DURATION)
+    block = run_overload(OverloadConfig(policy="block", seed=SEED, duration=DURATION))
+    shed = run_overload(OverloadConfig(policy="shed", seed=SEED, duration=DURATION))
     return block, shed
 
 

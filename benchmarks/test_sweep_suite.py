@@ -1,0 +1,95 @@
+"""E13 — The sweep runner: parallel byte-identity and cache economics.
+
+Runs the standard E-suite sweep three ways — serial cold (populating the
+result cache), parallel without a cache, and serial warm — and checks
+the contracts that make ``sage sweep`` trustworthy: every execution mode
+produces the byte-identical canonical digest, and a warm cache executes
+zero simulations. Wall clocks for all three are recorded; the parallel
+row is reported as-is (on a single-core container it tracks the serial
+time plus pool overhead — the identity guarantee, not the speedup, is
+the portable claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.api import default_suite, run_sweep
+
+SEED = 24013
+DURATION = 240.0
+JOBS = 4
+
+
+def run_e13(tmp_path):
+    cache = tmp_path / "cache"
+    cold = run_sweep(
+        default_suite(DURATION), jobs=1, cache_dir=cache, root_seed=SEED
+    )
+    par = run_sweep(default_suite(DURATION), jobs=JOBS, root_seed=SEED)
+    warm = run_sweep(
+        default_suite(DURATION), jobs=1, cache_dir=cache, root_seed=SEED
+    )
+    return cold, par, warm
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_sweep_suite(benchmark, report, tmp_path):
+    cold, par, warm = benchmark.pedantic(
+        run_e13, args=(tmp_path,), rounds=1, iterations=1
+    )
+    rows = [
+        ["serial cold", 1, cold.executed, cold.cache_hits,
+         f"{cold.wall_seconds:.2f}", cold.digest()[:12]],
+        [f"parallel x{JOBS}", JOBS, par.executed, par.cache_hits,
+         f"{par.wall_seconds:.2f}", par.digest()[:12]],
+        ["serial warm", 1, warm.executed, warm.cache_hits,
+         f"{warm.wall_seconds:.2f}", warm.digest()[:12]],
+    ]
+    table = render_table(
+        ["mode", "jobs", "simulated", "cache hits", "wall (s)", "digest"],
+        rows,
+        title=f"E13 — sweep runner over the E-suite ({len(cold.shards)} "
+        f"shards, {DURATION:.0f} s each, root seed {SEED})",
+    )
+
+    rec = ExperimentRecord(
+        "E13",
+        "Sweep runner: parallel byte-identity + warm-cache zero-execution",
+        SEED,
+        parameters={
+            "suite": "chaos x2 + overload x3",
+            "pool": f"spawn, {JOBS} workers",
+            "cache": "content-addressed (code fingerprint + config + seed)",
+        },
+    )
+    rec.check(
+        "all shards of all three runs succeeded",
+        cold.ok and par.ok and warm.ok,
+        f"failures: cold {len(cold.failures)}, par {len(par.failures)}, "
+        f"warm {len(warm.failures)}",
+    )
+    rec.check(
+        f"parallel x{JOBS} is byte-identical to serial",
+        par.digest() == cold.digest()
+        and par.canonical_lines() == cold.canonical_lines(),
+        f"{par.digest()[:12]} vs {cold.digest()[:12]}",
+    )
+    rec.check(
+        "warm cache executed zero simulations",
+        warm.executed == 0 and warm.hit_ratio == 1.0,
+        f"{warm.executed} simulated, {100 * warm.hit_ratio:.0f}% hits",
+    )
+    rec.check(
+        "warm replay still reports the identical digest",
+        warm.digest() == cold.digest(),
+    )
+    rec.check(
+        "the cache repays its cost within a single replay",
+        warm.wall_seconds < cold.wall_seconds / 5,
+        f"{warm.wall_seconds:.2f} s vs {cold.wall_seconds:.2f} s cold",
+    )
+    report("E13", table, rec.render())
+    rec.assert_shape()

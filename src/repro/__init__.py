@@ -15,12 +15,51 @@ The package layers, bottom-up:
 * :mod:`repro.baselines` — comparison systems (direct, static parallel,
   shortest-path variants, blob staging, GridFTP-like);
 * :mod:`repro.workloads` — synthetic and application workloads (A-Brain);
-* :mod:`repro.analysis` — statistics and experiment-report helpers.
+* :mod:`repro.analysis` — statistics and experiment-report helpers;
+* :mod:`repro.runner` — parallel sweep execution with result caching.
+
+The supported public surface is :mod:`repro.api`, re-exported here:
+sessions (:class:`SageSession`), one-shot scenarios
+(:func:`run_experiment`), parallel cached sweeps (:func:`run_sweep`),
+and the typed config/result dataclasses. Anything deeper is
+implementation detail.
 """
 
-from repro.core.api import SageSession, TransferResult
+from repro.api import (
+    ChaosConfig,
+    OverloadConfig,
+    SageSession,
+    ScenarioReport,
+    StreamReport,
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    TransferResult,
+    default_suite,
+    derive_seed,
+    register_scenario,
+    run_experiment,
+    run_sweep,
+)
 from repro.core.engine import SageEngine
 
 __version__ = "1.0.0"
 
-__all__ = ["SageSession", "TransferResult", "SageEngine", "__version__"]
+__all__ = [
+    "ChaosConfig",
+    "OverloadConfig",
+    "SageEngine",
+    "SageSession",
+    "ScenarioReport",
+    "StreamReport",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
+    "TransferResult",
+    "default_suite",
+    "derive_seed",
+    "register_scenario",
+    "run_experiment",
+    "run_sweep",
+    "__version__",
+]

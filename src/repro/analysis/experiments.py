@@ -24,6 +24,9 @@ class ShapeCheck:
         suffix = f" — {self.detail}" if self.detail else ""
         return f"  [{mark}] {self.claim}{suffix}"
 
+    def to_dict(self) -> dict:
+        return {"claim": self.claim, "passed": self.passed, "detail": self.detail}
+
 
 @dataclass
 class ExperimentRecord:
@@ -60,6 +63,23 @@ class ExperimentRecord:
         verdict = "SHAPE OK" if self.all_passed else "SHAPE MISMATCH"
         lines.append(f"  verdict: {verdict}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, e.g. for sweep shard results and CI artifacts.
+
+        Parameters are stringified: they are display values, and bench
+        targets routinely put non-JSON objects (tuples, numpy scalars)
+        in them.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "name": self.name,
+            "seed": self.seed,
+            "parameters": {k: str(v) for k, v in self.parameters.items()},
+            "checks": [c.to_dict() for c in self.checks],
+            "notes": list(self.notes),
+            "all_passed": self.all_passed,
+        }
 
     def assert_shape(self) -> None:
         """Raise if any shape check failed (used by bench assertions)."""

@@ -1,0 +1,156 @@
+"""The one supported import surface of the SAGE reproduction.
+
+Everything an experiment driver needs lives here (and is re-exported
+from ``repro`` itself):
+
+* :class:`SageSession` / :class:`TransferResult` — interactive managed
+  transfers over a simulated deployment;
+* :func:`run_experiment` — run one scenario by name, returning a
+  :class:`~repro.report.ScenarioReport`;
+* :func:`run_sweep` / :func:`default_suite` — shard a list of
+  :class:`~repro.runner.SweepTask` across a process pool with result
+  caching, returning a :class:`~repro.runner.SweepReport`;
+* the frozen config dataclasses (:class:`ChaosConfig`,
+  :class:`OverloadConfig`, ...) and typed result surfaces
+  (:class:`ScenarioReport`, :class:`StreamReport`, :class:`SweepReport`).
+
+Deeper imports (``repro.cloud``, ``repro.streaming``, ...) remain
+available but are implementation surface; only this module's names are
+covered by the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    BlobRelayConfig,
+    ChaosConfig,
+    DirectConfig,
+    GridFtpConfig,
+    OverloadConfig,
+    ParallelStaticConfig,
+    ShortestPathConfig,
+)
+from repro.core.api import SageSession, TransferResult
+from repro.report import ScenarioReport, StreamReport
+from repro.runner import (
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    derive_seed,
+    register_scenario,
+    registered_scenarios,
+)
+from repro.runner.tasks import execute_task
+
+
+def run_experiment(
+    scenario: str,
+    config: dict | object | None = None,
+    *,
+    seed: int | None = None,
+    observer=None,
+) -> ScenarioReport:
+    """Run one registered scenario and return its :class:`ScenarioReport`.
+
+    ``scenario`` is a registry name (``"chaos"``, ``"overload"``, or
+    anything added via :func:`register_scenario`); ``config`` is the
+    scenario's config dataclass, its dict form, or ``None`` for
+    defaults. ``seed`` overrides the config's seed when given.
+    """
+    from repro.runner.tasks import _ensure_builtin, _REGISTRY
+
+    _ensure_builtin()
+    if scenario not in _REGISTRY:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; "
+            f"registered: {registered_scenarios()}"
+        )
+    config_cls, run_fn = _REGISTRY[scenario]
+    if config is None:
+        cfg = config_cls()
+    elif isinstance(config, dict):
+        cfg = config_cls.from_dict(config)
+    elif isinstance(config, config_cls):
+        cfg = config
+    else:
+        raise TypeError(
+            f"expected {config_cls.__name__}, dict, or None — "
+            f"got {type(config).__name__}"
+        )
+    if seed is not None:
+        cfg = cfg.replace(seed=seed)
+    return run_fn(cfg, observer=observer)
+
+
+def default_suite(duration: float = 240.0) -> list[SweepTask]:
+    """The standard E-suite sweep: chaos (both arms) + overload (all
+    policies), one shard each."""
+    tasks = [
+        SweepTask(
+            name="chaos-inject",
+            scenario="chaos",
+            config={"duration": duration, "inject": True},
+        ),
+        SweepTask(
+            name="chaos-baseline",
+            scenario="chaos",
+            config={"duration": duration, "inject": False},
+        ),
+    ]
+    tasks.extend(
+        SweepTask(
+            name=f"overload-{policy}",
+            scenario="overload",
+            config={"policy": policy, "duration": duration},
+        )
+        for policy in ("block", "shed", "degrade")
+    )
+    return tasks
+
+
+def run_sweep(
+    tasks: list[SweepTask] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    root_seed: int = 2013,
+    observer=None,
+) -> SweepReport:
+    """Run a sweep (default: :func:`default_suite`) and return its report.
+
+    ``jobs`` > 1 shards across a spawn-based process pool; output is
+    bit-identical to ``jobs=1`` by construction (see
+    :mod:`repro.runner`). ``cache_dir`` enables the content-addressed
+    result cache — warm re-runs execute zero simulations.
+    """
+    if tasks is None:
+        tasks = default_suite()
+    runner = SweepRunner(
+        jobs=jobs, cache_dir=cache_dir, root_seed=root_seed, observer=observer
+    )
+    return runner.run(tasks)
+
+
+__all__ = [
+    "BlobRelayConfig",
+    "ChaosConfig",
+    "DirectConfig",
+    "GridFtpConfig",
+    "OverloadConfig",
+    "ParallelStaticConfig",
+    "SageSession",
+    "ScenarioReport",
+    "ShortestPathConfig",
+    "StreamReport",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
+    "TransferResult",
+    "default_suite",
+    "derive_seed",
+    "execute_task",
+    "register_scenario",
+    "registered_scenarios",
+    "run_experiment",
+    "run_sweep",
+]

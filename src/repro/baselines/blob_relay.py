@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 
 from repro.baselines.base import BaselineResult, run_transfer_to_completion
+from repro.config import BlobRelayConfig, resolve_config
 from repro.core.engine import SageEngine
 from repro.simulation.units import MB
 
@@ -24,18 +25,17 @@ class BlobRelay:
     _names = itertools.count()
 
     def __init__(
-        self,
-        staging_region: str | None = None,
-        object_size: float = 64 * MB,
-        parallel_objects: int = 2,
+        self, config: BlobRelayConfig | dict | None = None, **legacy
     ) -> None:
-        if object_size <= 0:
-            raise ValueError("object_size must be positive")
-        if parallel_objects < 1:
-            raise ValueError("parallel_objects must be >= 1")
-        self.staging_region = staging_region
-        self.object_size = object_size
-        self.parallel_objects = parallel_objects
+        cfg = resolve_config(
+            BlobRelayConfig, config, legacy,
+            "BlobRelay(staging_region=..., object_size=..., ...)",
+            "BlobRelay(BlobRelayConfig(...))",
+        )
+        self.config = cfg
+        self.staging_region = cfg.staging_region
+        self.object_size = cfg.object_size
+        self.parallel_objects = cfg.parallel_objects
 
     def run(
         self,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.baselines.base import BaselineResult, run_transfer_to_completion
+from repro.config import DirectConfig, resolve_config
 from repro.core.engine import SageEngine
 
 
@@ -11,8 +12,16 @@ class EndPoint2EndPoint:
 
     label = "EndPoint2EndPoint"
 
-    def __init__(self, streams: int = 1) -> None:
-        self.streams = streams
+    def __init__(
+        self, config: DirectConfig | dict | None = None, **legacy
+    ) -> None:
+        cfg = resolve_config(
+            DirectConfig, config, legacy,
+            "EndPoint2EndPoint(streams=...)",
+            "EndPoint2EndPoint(DirectConfig(...))",
+        )
+        self.config = cfg
+        self.streams = cfg.streams
 
     def run(
         self,

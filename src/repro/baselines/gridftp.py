@@ -11,6 +11,7 @@ and the environment-aware system.
 from __future__ import annotations
 
 from repro.baselines.base import BaselineResult, run_transfer_to_completion
+from repro.config import GridFtpConfig, resolve_config
 from repro.core.engine import SageEngine
 from repro.transfer.plan import TransferPlan
 
@@ -21,21 +22,18 @@ class GridFtpLike:
     label = "GlobusOnline-like"
 
     def __init__(
-        self,
-        streams: int = 8,
-        submission_latency: float = 5.0,
-        endpoints: int = 2,
+        self, config: GridFtpConfig | dict | None = None, **legacy
     ) -> None:
-        if streams < 1:
-            raise ValueError("streams must be >= 1")
-        if submission_latency < 0:
-            raise ValueError("submission_latency must be non-negative")
-        if endpoints < 1:
-            raise ValueError("endpoints must be >= 1")
-        self.streams = streams
-        self.submission_latency = submission_latency
+        cfg = resolve_config(
+            GridFtpConfig, config, legacy,
+            "GridFtpLike(streams=..., submission_latency=..., ...)",
+            "GridFtpLike(GridFtpConfig(...))",
+        )
+        self.config = cfg
+        self.streams = cfg.streams
+        self.submission_latency = cfg.submission_latency
         #: Striped servers per side (GridFTP striping), fixed at setup.
-        self.endpoints = endpoints
+        self.endpoints = cfg.endpoints
 
     def run(
         self,

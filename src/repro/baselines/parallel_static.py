@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.baselines.base import BaselineResult, run_transfer_to_completion
 from repro.core.engine import SageEngine
+from repro.config import ParallelStaticConfig, resolve_config
 from repro.transfer.plan import RouteAssignment, TransferPlan
 
 
@@ -20,11 +21,17 @@ class StaticParallel:
 
     label = "StaticParallel"
 
-    def __init__(self, n_nodes: int = 5, streams: int = 4) -> None:
-        if n_nodes < 1:
-            raise ValueError("n_nodes must be >= 1")
-        self.n_nodes = n_nodes
-        self.streams = streams
+    def __init__(
+        self, config: ParallelStaticConfig | dict | None = None, **legacy
+    ) -> None:
+        cfg = resolve_config(
+            ParallelStaticConfig, config, legacy,
+            "StaticParallel(n_nodes=..., streams=...)",
+            "StaticParallel(ParallelStaticConfig(...))",
+        )
+        self.config = cfg
+        self.n_nodes = cfg.n_nodes
+        self.streams = cfg.streams
 
     def build_plan(
         self, engine: SageEngine, src_region: str, dst_region: str

@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 
 from repro.baselines.base import BaselineResult, run_transfer_to_completion
+from repro.config import ShortestPathConfig, resolve_config
 from repro.core.engine import SageEngine
 from repro.core.paths import widest_path
 from repro.transfer.plan import RouteAssignment, TransferPlan
@@ -53,10 +54,19 @@ class StaticShortestPath:
 
     label = "ShortestPath-static"
 
-    def __init__(self, n_nodes: int = 10, streams: int = 4, max_hops: int = 3):
-        self.n_nodes = n_nodes
-        self.streams = streams
-        self.max_hops = max_hops
+    def __init__(
+        self, config: ShortestPathConfig | dict | None = None, **legacy
+    ) -> None:
+        legacy.pop("replan_interval", None)  # dynamic-only knob
+        cfg = resolve_config(
+            ShortestPathConfig, config, legacy,
+            "StaticShortestPath(n_nodes=..., streams=..., max_hops=...)",
+            "StaticShortestPath(ShortestPathConfig(...))",
+        )
+        self.config = cfg
+        self.n_nodes = cfg.n_nodes
+        self.streams = cfg.streams
+        self.max_hops = cfg.max_hops
 
     def choose_path(self, engine: SageEngine, src: str, dst: str) -> list[str]:
         thr = {
@@ -94,14 +104,15 @@ class DynamicShortestPath(StaticShortestPath):
     label = "ShortestPath-dynamic"
 
     def __init__(
-        self,
-        n_nodes: int = 10,
-        streams: int = 4,
-        max_hops: int = 3,
-        replan_interval: float = 30.0,
+        self, config: ShortestPathConfig | dict | None = None, **legacy
     ) -> None:
-        super().__init__(n_nodes, streams, max_hops)
-        self.replan_interval = replan_interval
+        cfg = resolve_config(
+            ShortestPathConfig, config, legacy,
+            "DynamicShortestPath(n_nodes=..., replan_interval=...)",
+            "DynamicShortestPath(ShortestPathConfig(...))",
+        )
+        super().__init__(cfg)
+        self.replan_interval = cfg.replan_interval
 
     def run(
         self, engine: SageEngine, src_region: str, dst_region: str, size: float

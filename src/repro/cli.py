@@ -202,32 +202,59 @@ def cmd_stream(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    from repro.config import ChaosConfig
     from repro.faults import run_chaos
 
-    result = run_chaos(
-        seed=args.seed,
-        duration=args.duration,
-        inject=not args.no_faults,
+    report = run_chaos(
+        ChaosConfig(
+            seed=args.seed,
+            duration=args.duration,
+            inject=not args.no_faults,
+        ),
         observer=_observer(args),
     )
-    print(result.describe())
-    return 0 if result.clean else 1
+    print(report.describe())
+    return 0 if report.clean else 1
 
 
 def cmd_overload(args) -> int:
+    from repro.config import OverloadConfig
     from repro.flow import run_overload
 
-    result = run_overload(
-        policy=args.policy,
-        seed=args.seed,
-        duration=args.duration,
-        max_backlog=args.max_backlog,
-        brownout=None if args.no_brownout else (70.0, 40.0, 0.0),
-        crash_at=None if args.no_crash else 150.0,
+    report = run_overload(
+        OverloadConfig(
+            policy=args.policy,
+            seed=args.seed,
+            duration=args.duration,
+            max_backlog=args.max_backlog,
+            brownout=None if args.no_brownout else (70.0, 40.0, 0.0),
+            crash_at=None if args.no_crash else 150.0,
+        ),
         observer=_observer(args),
     )
-    print(result.describe())
-    return 0 if result.clean else 1
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.api import default_suite, run_sweep
+
+    observer = _observer(args)
+    report = run_sweep(
+        default_suite(duration=args.duration),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        root_seed=args.seed,
+        observer=observer,
+    )
+    print(report.describe())
+    if args.jsonl:
+        path = report.write_jsonl(args.jsonl)
+        print(f"wrote shard log to {path}")
+    if args.digest:
+        # Bare digest on its own line: CI greps it to compare runs.
+        print(report.digest())
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -325,6 +352,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the aggregator crash/restart",
     )
 
+    p = sub.add_parser(
+        "sweep",
+        help="run the scenario suite sharded over a process pool, "
+        "with result caching",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (output is bit-identical to "
+        "--jobs 1)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="content-addressed result cache; warm re-runs execute "
+        "zero simulations",
+    )
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the per-shard run log (JSONL) to PATH",
+    )
+    p.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the canonical result digest as the last line",
+    )
+
     return parser
 
 
@@ -337,6 +394,7 @@ _COMMANDS = {
     "stream": cmd_stream,
     "chaos": cmd_chaos,
     "overload": cmd_overload,
+    "sweep": cmd_sweep,
 }
 
 

@@ -27,8 +27,11 @@ protocol and politeness constraints:
 
 from __future__ import annotations
 
+import bisect
 import itertools
 from typing import Callable
+
+import numpy as np
 
 from repro.cloud.regions import RegionCatalog, default_catalog, pair_bias
 from repro.cloud.variability import (
@@ -273,6 +276,47 @@ class Flow:
         return f"Flow#{self.flow_id}({route}, {self.size / MB:.1f}MB)"
 
 
+#: Resource-entry kinds (how ``_allocate`` reads each entry's capacity).
+_RES_UP, _RES_DOWN, _RES_INTRA, _RES_WAN = range(4)
+
+
+class _ResEntry:
+    """One shared resource as seen by the fast allocator.
+
+    ``epoch``/``cap``/``count``/``users``/``remaining`` are transient
+    per-allocation scratch, reset by the epoch stamp; ``kind``/``obj``
+    identify the resource (a VM, a WAN link, or the intra fabric).
+    """
+
+    __slots__ = (
+        "kind", "obj", "cap", "weather", "weather_t", "remaining", "count",
+        "live_users", "live_count", "live_pos",
+    )
+
+    def __init__(self, kind: int, obj: object) -> None:
+        self.kind = kind
+        self.obj = obj
+        self.cap = 0.0
+        #: Raw weather factor read this allocation (WAN entries only), and
+        #: the virtual time it was read at. ``factor(t)`` is idempotent at
+        #: fixed ``t`` for every capacity process, so cascaded recomputes
+        #: at one event time reuse the value instead of re-walking the
+        #: process stack. Fault state (``up``/``fault_scale``) can change
+        #: without time advancing, so the capacity itself is still
+        #: recombined from the memoised factor on every allocation.
+        self.weather = 1.0
+        self.weather_t = -1.0
+        self.remaining = 0.0
+        self.count = 0
+        #: Active flows crossing this resource, maintained incrementally
+        #: on flow start/cancel/completion in start order (== flow_id
+        #: order), so iteration is deterministic across processes.
+        self.live_users: list["Flow"] = []
+        self.live_count = 0
+        #: Index into FluidNetwork._live_entries while live_count > 0.
+        self.live_pos = -1
+
+
 class FluidNetwork:
     """Event-driven fluid simulation of concurrent transfers.
 
@@ -281,6 +325,24 @@ class FluidNetwork:
     funnel into :meth:`_recompute`: settle progress analytically since the
     previous event, re-read link capacities, re-run max-min fair sharing,
     and schedule the next projected completion.
+
+    ``_recompute`` is the simulator's hottest path (every batch shipped by
+    the streaming runtime starts and completes a flow), so the allocation
+    is *incremental*: the resource-incidence structure is rebuilt only
+    when the active flow set changes, capacities of the resources the
+    active flows actually touch are re-read and compared against the
+    previous allocation's inputs (dirty-link tracking by value), and when
+    nothing relevant changed the previous rates are reused outright. When
+    a full reallocation is needed it runs as vectorised numpy
+    water-filling over the bottleneck sets instead of per-resource set
+    algebra. ``allocator="reference"`` selects the original pure-Python
+    allocator, kept for A/B equivalence tests and as the microbenchmark
+    baseline (``benchmarks/test_network_recompute.py``).
+
+    All flow iteration happens in ``flow_id`` (creation) order: iteration
+    over the raw ``set`` would follow ``id()``-based hashes, which vary
+    across processes and would break the bit-identical guarantee the
+    parallel sweep runner makes for ``--jobs N`` vs serial runs.
     """
 
     def __init__(
@@ -291,7 +353,10 @@ class FluidNetwork:
         refresh_interval: float = 10.0,
         relay_efficiency: float = 0.95,
         stall_timeout: float = 30.0,
+        allocator: str = "fast",
     ) -> None:
+        if allocator not in ("fast", "reference"):
+            raise ValueError(f"unknown allocator {allocator!r}")
         self.sim = sim
         self.topology = topology
         self.tcp_window = tcp_window
@@ -302,6 +367,7 @@ class FluidNetwork:
         #: A flow whose allocated rate stays zero this long is *stalled*
         #: (crashed VM / blackholed link); ``on_stall`` fires once per flow.
         self.stall_timeout = stall_timeout
+        self.allocator = allocator
         self.on_stall: Callable[[Flow], None] | None = None
         self.flows: set[Flow] = set()
         self.bytes_completed = 0.0
@@ -309,6 +375,26 @@ class FluidNetwork:
         self._last_settle = sim.now
         self._completion_event: Event | None = None
         self._refresh_event: Event | None = None
+        # Incremental-allocation state. ``_flows_version`` bumps on every
+        # start/cancel/completion; the flow-id-ordered view, the interned
+        # resource entries, and the live resource-incidence structure are
+        # all maintained in place at those three mutation points rather
+        # than rebuilt per allocation.
+        self._flows_version = 0
+        self._sorted_flows: list[Flow] = []
+        self._struct_version = -1
+        self._res_intern: dict[object, _ResEntry] = {}
+        self._live_entries: list[_ResEntry] = []
+        self._last_entry_caps: list[float] | None = None
+        self._last_flow_caps: list[float] | None = None
+        #: Flow-set size at which allocation switches from the scalar
+        #: water-filling to the vectorised numpy one.
+        self.vector_threshold = 32
+        #: Instrumentation: recomputes seen / full water-fillings run /
+        #: reallocations skipped because no relevant input changed.
+        self.recomputes = 0
+        self.allocations = 0
+        self.alloc_skips = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -318,6 +404,8 @@ class FluidNetwork:
             raise ValueError(f"{flow!r} already started")
         flow.started_at = self.sim.now
         self.flows.add(flow)
+        self._attach(flow)
+        self._flows_version += 1
         self._recompute()
         return flow
 
@@ -327,8 +415,41 @@ class FluidNetwork:
         flow.cancelled = True
         self._settle()
         self.flows.discard(flow)
+        self._detach(flow)
+        self._flows_version += 1
         flow.rate = 0.0
         self._recompute()
+
+    def _attach(self, flow: Flow) -> None:
+        """Fold a starting flow into the live incidence structure."""
+        sorted_flows = self._sorted_flows
+        if sorted_flows and sorted_flows[-1].flow_id > flow.flow_id:
+            # A flow constructed earlier but started later: keep the
+            # flow-id order that the deterministic iteration relies on.
+            bisect.insort(sorted_flows, flow, key=lambda f: f.flow_id)
+        else:
+            sorted_flows.append(flow)
+        live = self._live_entries
+        for e in self._flow_entries(flow):
+            if e.live_count == 0:
+                e.live_pos = len(live)
+                live.append(e)
+            e.live_users.append(flow)
+            e.live_count += 1
+
+    def _detach(self, flow: Flow) -> None:
+        """Remove a cancelled/completed flow from the live incidence."""
+        self._sorted_flows.remove(flow)
+        live = self._live_entries
+        for e in flow._net_entries:
+            e.live_users.remove(flow)
+            e.live_count -= 1
+            if e.live_count == 0:
+                last = live[-1]
+                last.live_pos = e.live_pos
+                live[e.live_pos] = last
+                live.pop()
+                e.live_pos = -1
 
     def throughput(self, flow: Flow) -> float:
         """Instantaneous allocated rate of a flow, bytes/s."""
@@ -349,14 +470,14 @@ class FluidNetwork:
         now = self.sim.now
         return [
             f
-            for f in self.flows
+            for f in self._active_sorted()
             if f.stalled_since is not None and now - f.stalled_since >= timeout
         ]
 
     def link_utilization(self, src: str, dst: str) -> float:
         """Sum of current rates of flows crossing a WAN link."""
         return sum(
-            f.rate for f in self.flows if (src, dst) in f.wan_hops()
+            f.rate for f in self._active_sorted() if (src, dst) in f.wan_hops()
         )
 
     def flow_cap(self, flow: Flow) -> float:
@@ -367,6 +488,40 @@ class FluidNetwork:
         so a single flow on a bad day delivers less than ``window/RTT``
         even when the aggregate link is far from saturated. This is what
         makes the cloud's variability *observable* to unsaturated probes.
+
+        The path-derived parts (per-hop window/RTT ceilings, the VM list,
+        the relay factor) never change for a given flow, so they are
+        computed once and cached on the flow; only the weather factors
+        and VM NIC capacities are re-read per call. The arithmetic is
+        kept operation-for-operation identical to the original per-hop
+        walk so cached and uncached evaluation agree bit-exactly.
+        """
+        static = getattr(flow, "_cap_static", None)
+        if static is None or static[0] != (self.tcp_window, self.relay_efficiency):
+            static = self._build_cap_static(flow)
+            flow._cap_static = static
+        _, base, wan_ceilings, intrusiveness, vms, relay = static
+        cap = base
+        now = self.sim.now
+        for link, ceiling in wan_ceilings:
+            weather = link.process.factor(now)
+            if weather > 1.0:
+                weather = 1.0
+            hop_cap = ceiling * weather
+            if hop_cap < cap:
+                cap = hop_cap
+        for vm in vms:
+            vm_cap = intrusiveness * vm.uplink_capacity
+            if vm_cap < cap:
+                cap = vm_cap
+        return cap * relay if relay is not None else cap
+
+    def _flow_cap_walk(self, flow: Flow) -> float:
+        """Per-hop walk computing :meth:`flow_cap` with no caching.
+
+        This is the pre-optimisation implementation, kept verbatim for
+        the reference allocator so that A/B benchmarks compare against
+        the true baseline cost. Arithmetic is identical to flow_cap.
         """
         cap = flow.rate_cap if flow.rate_cap is not None else float("inf")
         now = self.sim.now
@@ -384,6 +539,32 @@ class FluidNetwork:
         if n_wan > 1:
             cap *= self.relay_efficiency ** (n_wan - 1)
         return cap
+
+    def _build_cap_static(self, flow: Flow) -> tuple:
+        """Precompute the path-invariant inputs of :meth:`flow_cap`."""
+        n_wan = 0
+        wan_ceilings: list[tuple[WanLink, float]] = []
+        for a, b in flow.hops():
+            if a.region_code != b.region_code:
+                n_wan += 1
+                if flow.transport == "udp":
+                    continue  # no congestion window: NICs and shares bind
+                link = self.topology.link(a.region_code, b.region_code)
+                wan_ceilings.append(
+                    (link, flow.streams * self.tcp_window / link.rtt)
+                )
+        relay = (
+            self.relay_efficiency ** (n_wan - 1) if n_wan > 1 else None
+        )
+        base = flow.rate_cap if flow.rate_cap is not None else float("inf")
+        return (
+            (self.tcp_window, self.relay_efficiency),
+            base,
+            wan_ceilings,
+            flow.intrusiveness,
+            flow.path,
+            relay,
+        )
 
     def isolated_rate(
         self,
@@ -416,34 +597,347 @@ class FluidNetwork:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _active_sorted(self) -> list[Flow]:
+        """The active flows in creation order (maintained incrementally)."""
+        return self._sorted_flows
+
     def _settle(self) -> None:
         """Advance every active flow by rate × elapsed since last event."""
         now = self.sim.now
         dt = now - self._last_settle
         if dt > 0:
-            for f in self.flows:
-                if f.rate > 0:
-                    f.transferred = min(f.size, f.transferred + f.rate * dt)
+            for f in self._sorted_flows:
+                rate = f.rate
+                if rate > 0:
+                    done = f.transferred + rate * dt
+                    f.transferred = done if done < f.size else f.size
         self._last_settle = now
 
     def _complete_finished(self) -> None:
-        finished = [f for f in self.flows if f.remaining <= _EPS * f.size + _EPS]
+        finished = None
+        for f in self._sorted_flows:
+            if f.size - f.transferred <= _EPS * f.size + _EPS:
+                if finished is None:
+                    finished = [f]
+                else:
+                    finished.append(f)
+        if finished is None:
+            return
         for f in finished:
             f.transferred = f.size
             f.completed_at = self.sim.now
             f.rate = 0.0
             self.flows.discard(f)
+            self._detach(f)
             self.bytes_completed += f.size
             self.flows_completed += 1
+        self._flows_version += 1
         # Callbacks run after bookkeeping so they can start follow-up flows.
         for f in finished:
             if f.on_complete is not None:
                 f.on_complete(f)
 
+    # -- fast allocator ------------------------------------------------
+    def _flow_entries(self, f: Flow) -> list["_ResEntry"]:
+        """The interned resource entries a flow's path touches.
+
+        Computed once per flow (paths are immutable) and cached on the
+        flow, so a reallocation never re-hashes resource keys. Entries
+        are shared between flows through ``_res_intern`` — identity is
+        the resource, not the flow. Order matches the reference
+        allocator's first-touch order (uplinks, downlinks, hops) and is
+        deduplicated, mirroring its ``live_users`` set semantics.
+        """
+        entries = getattr(f, "_net_entries", None)
+        if entries is None:
+            intern = self._res_intern
+            entries = []
+            seen = set()
+            vm_entry: dict[str, _ResEntry] = {}
+
+            def add(key: object, kind: int, obj: object) -> "_ResEntry":
+                e = intern.get(key)
+                if e is None:
+                    e = intern[key] = _ResEntry(kind, obj)
+                if key not in seen:
+                    seen.add(key)
+                    entries.append(e)
+                return e
+
+            for vm in f.path[:-1]:
+                vm_entry.setdefault(
+                    vm.vm_id, add(("up", vm.vm_id), _RES_UP, vm)
+                )
+            for vm in f.path[1:]:
+                vm_entry.setdefault(
+                    vm.vm_id, add(("down", vm.vm_id), _RES_DOWN, vm)
+                )
+            # The per-flow cap plan mirrors flow_cap() entry by entry:
+            # (wan entry, window/RTT ceiling) pairs for TCP hops, one VM
+            # entry per path VM (up and down NIC reads are the same
+            # expression, so either entry's cap stands in for
+            # uplink_capacity), and the relay factor.
+            n_wan = 0
+            wan_pairs: list[tuple[_ResEntry, float]] = []
+            for a, b in f.hops():
+                if a.region_code == b.region_code:
+                    add(("intra", a.region_code), _RES_INTRA, None)
+                else:
+                    key = (a.region_code, b.region_code)
+                    link = self.topology.link(*key)
+                    e = add(("wan", key), _RES_WAN, link)
+                    n_wan += 1
+                    if f.transport != "udp":
+                        wan_pairs.append(
+                            (e, f.streams * self.tcp_window / link.rtt)
+                        )
+            base = f.rate_cap if f.rate_cap is not None else float("inf")
+            relay = (
+                self.relay_efficiency ** (n_wan - 1) if n_wan > 1 else None
+            )
+            f._cap_plan = (
+                base,
+                wan_pairs,
+                [vm_entry[vm.vm_id] for vm in f.path],
+                f.intrusiveness,
+                relay,
+            )
+            f._net_entries = entries
+        return entries
+
     def _allocate(self) -> None:
         """Max-min fair allocation with per-flow caps (water-filling)."""
+        if self.allocator == "reference":
+            self._allocate_reference()
+            return
+        flows = self._active_sorted()
+        if not flows:
+            self._last_entry_caps = None
+            self._last_flow_caps = None
+            return
         now = self.sim.now
-        flows = list(self.flows)
+
+        # Re-read capacities of exactly the resources the active flows
+        # touch. The incidence structure (which flows cross which
+        # resources) is maintained incrementally on start/cancel/
+        # completion, so this pass is O(resources) + O(flows), not
+        # O(flows × path length). Per-flow private caps are derived from
+        # the same entry-level reads (see the cap plan in _flow_entries),
+        # so each resource is read exactly once per allocation no matter
+        # how many flows cross it.
+        entries = self._live_entries
+        intra_cap = self.topology.intra_capacity
+        for e in entries:
+            kind = e.kind
+            if kind == _RES_UP:
+                e.cap = e.obj.uplink_capacity
+            elif kind == _RES_DOWN:
+                e.cap = e.obj.downlink_capacity
+            elif kind == _RES_INTRA:
+                e.cap = intra_cap
+            else:
+                link = e.obj
+                if e.weather_t != now:
+                    e.weather = link.process.factor(now)
+                    e.weather_t = now
+                e.cap = (
+                    link.base_capacity * e.weather * link.fault_scale
+                    if link.up
+                    else 0.0
+                )
+
+        n = len(flows)
+        if n == 1:
+            # A lone flow gets the min of its private cap and every
+            # resource it crosses — no water-filling, and nothing to
+            # compare against, so skip the early-out bookkeeping too.
+            f = flows[0]
+            f._wf_i = 0
+            base, wan_pairs, vm_entries, intr, relay = f._cap_plan
+            cap = base
+            for e, ceiling in wan_pairs:
+                w = e.weather
+                if w > 1.0:
+                    w = 1.0
+                hop_cap = ceiling * w
+                if hop_cap < cap:
+                    cap = hop_cap
+            for e in vm_entries:
+                vm_cap = intr * e.cap
+                if vm_cap < cap:
+                    cap = vm_cap
+            if relay is not None:
+                cap *= relay
+            mn = cap
+            for e in entries:
+                c = e.cap
+                if c < mn:
+                    mn = c
+            f.rate = mn
+            self._struct_version = self._flows_version
+            self._last_entry_caps = None
+            self._last_flow_caps = None
+            self.allocations += 1
+            return
+
+        flow_caps: list[float] = []
+        for ix, f in enumerate(flows):
+            f._wf_i = ix
+            base, wan_pairs, vm_entries, intr, relay = f._cap_plan
+            cap = base
+            for e, ceiling in wan_pairs:
+                w = e.weather
+                if w > 1.0:
+                    w = 1.0
+                hop_cap = ceiling * w
+                if hop_cap < cap:
+                    cap = hop_cap
+            for e in vm_entries:
+                vm_cap = intr * e.cap
+                if vm_cap < cap:
+                    cap = vm_cap
+            flow_caps.append(cap * relay if relay is not None else cap)
+        entry_caps = [e.cap for e in entries]
+        structure_changed = self._struct_version != self._flows_version
+        if structure_changed:
+            self._struct_version = self._flows_version
+        elif (
+            entry_caps == self._last_entry_caps
+            and flow_caps == self._last_flow_caps
+        ):
+            # Early-out: same flows, same capacities, same private caps —
+            # the previous rates are still the max-min fair allocation.
+            self.alloc_skips += 1
+            return
+        self._last_entry_caps = entry_caps
+        self._last_flow_caps = flow_caps
+        self.allocations += 1
+
+        if n >= self.vector_threshold:
+            self._water_fill_vector(flows, entries, flow_caps, entry_caps)
+        else:
+            self._water_fill_scalar(flows, entries, flow_caps)
+
+    def _water_fill_scalar(
+        self,
+        flows: list[Flow],
+        entries: list["_ResEntry"],
+        flow_caps: list[float],
+    ) -> None:
+        """Water-filling with incrementally maintained bottleneck counts.
+
+        Identical arithmetic to the reference allocator (same increments,
+        same freeze conditions, same tie-break) but O(flows + resources)
+        per round instead of per-resource set intersections.
+        """
+        n = len(flows)
+        alloc = [0.0] * n
+        active = [True] * n
+        n_active = n
+        for e in entries:
+            e.remaining = e.cap
+            e.count = e.live_count
+        while n_active:
+            # Largest uniform increment every active flow can take.
+            inc = None
+            for i in range(n):
+                if active[i]:
+                    gap = flow_caps[i] - alloc[i]
+                    if inc is None or gap < inc:
+                        inc = gap
+            for e in entries:
+                c = e.count
+                if c:
+                    share = e.remaining / c
+                    if share < inc:
+                        inc = share
+            if inc < 0:
+                inc = 0.0
+            # Freeze flows at their private cap ...
+            frozen = []
+            for i in range(n):
+                if active[i]:
+                    alloc[i] += inc
+                    if flow_caps[i] - alloc[i] <= _EPS:
+                        frozen.append(i)
+            # ... and flows on saturated resources.
+            for e in entries:
+                c = e.count
+                if c:
+                    e.remaining -= inc * c
+                    if e.remaining <= _EPS:
+                        for g in e.live_users:
+                            i = g._wf_i
+                            if active[i]:
+                                frozen.append(i)
+            if not frozen:
+                # Numerical stall: freeze the flow closest to its cap
+                # (first by creation order among ties).
+                frozen = [
+                    min(
+                        (flow_caps[i] - alloc[i], i)
+                        for i in range(n)
+                        if active[i]
+                    )[1]
+                ]
+            for i in frozen:
+                if active[i]:
+                    active[i] = False
+                    n_active -= 1
+                    for e in flows[i]._net_entries:
+                        e.count -= 1
+        for i, f in enumerate(flows):
+            f.rate = alloc[i]
+
+    def _water_fill_vector(
+        self,
+        flows: list[Flow],
+        entries: list["_ResEntry"],
+        flow_caps: list[float],
+        entry_caps: list[float],
+    ) -> None:
+        """Vectorised numpy water-filling over the bottleneck sets.
+
+        Same arithmetic as the scalar path; wins once the active flow
+        set is large (big transfer sessions, many concurrent batches).
+        """
+        n = len(flows)
+        incidence = np.zeros((len(entries), n))
+        for row, e in enumerate(entries):
+            incidence[row, [g._wf_i for g in e.live_users]] = 1.0
+        caps = np.asarray(flow_caps)
+        alloc = np.zeros(n)
+        active = np.ones(n, dtype=bool)
+        remaining = np.asarray(entry_caps, dtype=float).copy()
+        while active.any():
+            gaps = caps - alloc
+            inc = gaps[active].min()
+            counts = incidence @ active
+            used = counts > 0
+            if used.any():
+                inc = min(inc, (remaining[used] / counts[used]).min())
+            if inc < 0:
+                inc = 0.0
+            alloc[active] += inc
+            remaining -= inc * counts
+            frozen = active & (caps - alloc <= _EPS)
+            saturated = remaining <= _EPS
+            if saturated.any():
+                frozen |= active & (incidence[saturated].any(axis=0))
+            if not frozen.any():
+                stall_gaps = np.where(active, caps - alloc, np.inf)
+                frozen = np.zeros(n, dtype=bool)
+                frozen[int(np.argmin(stall_gaps))] = True
+            active &= ~frozen
+        for f, rate in zip(flows, alloc):
+            f.rate = float(rate)
+
+    # -- reference allocator -------------------------------------------
+    def _allocate_reference(self) -> None:
+        """The original pure-Python water-filling, kept as the equivalence
+        oracle and microbenchmark baseline for the fast allocator."""
+        now = self.sim.now
+        flows = self._active_sorted()
         for f in flows:
             f.rate = 0.0
         if not flows:
@@ -479,7 +973,7 @@ class FluidNetwork:
                         f,
                     )
 
-        caps = {f: self.flow_cap(f) for f in flows}
+        caps = {f: self._flow_cap_walk(f) for f in flows}
         alloc = {f: 0.0 for f in flows}
         active: set[Flow] = set(flows)
         live_users = {res: set(fl) for res, fl in users.items()}
@@ -506,14 +1000,22 @@ class FluidNetwork:
                 if remaining[res] <= _EPS:
                     newly_frozen |= flows_on & active
             if not newly_frozen:
-                # Numerical stall: freeze the flow closest to its cap.
-                newly_frozen = {min(active, key=lambda f: caps[f] - alloc[f])}
+                # Numerical stall: freeze the flow closest to its cap
+                # (first by creation order among ties, matching the fast
+                # allocator's argmin).
+                newly_frozen = {
+                    min(
+                        sorted(active, key=lambda f: f.flow_id),
+                        key=lambda f: caps[f] - alloc[f],
+                    )
+                }
             active -= newly_frozen
 
         for f in flows:
             f.rate = alloc[f]
 
     def _recompute(self) -> None:
+        self.recomputes += 1
         self._settle()
         self._complete_finished()
         self._allocate()
@@ -523,8 +1025,8 @@ class FluidNetwork:
     def _track_stalls(self) -> None:
         """Update per-flow stall clocks and fire ``on_stall`` once each."""
         now = self.sim.now
-        timed_out: list[Flow] = []
-        for f in self.flows:
+        timed_out: list[Flow] | None = None
+        for f in self._sorted_flows:
             if f.rate > _EPS:
                 f.stalled_since = None
                 f._stall_notified = False
@@ -535,7 +1037,10 @@ class FluidNetwork:
                 and now - f.stalled_since >= self.stall_timeout
             ):
                 f._stall_notified = True
-                timed_out.append(f)
+                if timed_out is None:
+                    timed_out = [f]
+                else:
+                    timed_out.append(f)
         if timed_out and self.on_stall is not None:
             # Deliver out-of-band: handlers may cancel flows, which would
             # re-enter the allocation we are in the middle of.
@@ -552,10 +1057,13 @@ class FluidNetwork:
         if not self.flows:
             return
         # Earliest projected completion at current rates.
-        eta = min(
-            (f.remaining / f.rate for f in self.flows if f.rate > 0),
-            default=None,
-        )
+        eta = None
+        for f in self._sorted_flows:
+            rate = f.rate
+            if rate > 0:
+                t = (f.size - f.transferred) / rate
+                if eta is None or t < eta:
+                    eta = t
         horizon = self.refresh_interval
         if eta is not None and eta <= horizon:
             self._completion_event = self.sim.schedule(

@@ -1,0 +1,229 @@
+"""Frozen configuration dataclasses — the one constructor surface.
+
+Historically every layer grew its own calling convention: scenarios took
+long ad-hoc keyword lists, baselines took positional knobs, and only
+``FlowConfig``/``MonitorConfig``/``DecisionConfig`` were proper
+dataclasses. This module unifies them: every tunable surface is a frozen
+dataclass deriving from :class:`ConfigBase`, which adds symmetric
+``to_dict``/``from_dict`` (JSON round-trip safe — tuple-typed fields are
+re-tupled on the way in) and ``replace``. Dict form is what the sweep
+runner hashes for cache keys and ships across process boundaries, so the
+round trip must be loss-free.
+
+Old call signatures still work through thin shims that emit
+``DeprecationWarning`` (see ``run_chaos``/``run_overload`` and the
+baseline constructors); new code passes a config object or its dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+import warnings
+from dataclasses import dataclass
+
+from repro.simulation.units import MB
+
+
+def deprecated_call(old: str, new: str) -> None:
+    """Emit the uniform deprecation warning for a legacy call path."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ConfigBase:
+    """Mixin giving frozen config dataclasses a symmetric dict form."""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested dataclasses included). JSON-safe
+        modulo tuples, which ``from_dict`` restores."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfigBase":
+        """Rebuild from :meth:`to_dict` output (or parsed JSON).
+
+        Unknown keys raise ``TypeError`` — a config dict is also a cache
+        key, so silently dropping a field would alias distinct
+        configurations.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise TypeError(
+                f"{cls.__name__}.from_dict: unknown fields {sorted(unknown)}"
+            )
+        hints = typing.get_type_hints(cls)
+        kwargs = {}
+        for key, value in data.items():
+            hint = str(hints.get(key, ""))
+            if isinstance(value, list) and "tuple" in hint.lower():
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def replace(self, **changes) -> "ConfigBase":
+        return dataclasses.replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# Scenario configurations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosConfig(ConfigBase):
+    """Configuration of the scripted fault-recovery scenario."""
+
+    seed: int = 2013
+    duration: float = 240.0
+    site_regions: tuple[str, str] = ("NEU", "WEU")
+    aggregation_region: str = "NUS"
+    records_per_s: float = 300.0
+    #: Arm the scripted fault plan (False = fault-free control run).
+    inject: bool = True
+    delivery_timeout: float = 15.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.records_per_s <= 0:
+            raise ValueError("records_per_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class OverloadConfig(ConfigBase):
+    """Configuration of the scripted overload-recovery scenario."""
+
+    policy: str = "block"
+    seed: int = 2013
+    duration: float = 240.0
+    site_regions: tuple[str, str] = ("NEU", "WEU")
+    aggregation_region: str = "NUS"
+    base_rate: float = 100.0
+    burst_factor: float = 5.0
+    burst_window: tuple[float, float] = (60.0, 90.0)
+    max_backlog: int = 1500
+    #: ``(start, duration, capacity_scale)`` brownout on the first
+    #: site's aggregation link; ``None`` disables it.
+    brownout: tuple[float, float, float] | None = (70.0, 40.0, 0.0)
+    #: Aggregator crash time (``None`` disables the crash).
+    crash_at: float | None = 150.0
+    restart_after: float = 15.0
+    checkpoint_interval: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+
+
+# ----------------------------------------------------------------------
+# Baseline configurations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DirectConfig(ConfigBase):
+    """Knobs of the single-path :class:`~repro.baselines.direct.DirectTransfer`."""
+
+    streams: int = 1
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+
+
+@dataclass(frozen=True)
+class ParallelStaticConfig(ConfigBase):
+    """Knobs of the fixed-fan-out static parallel baseline."""
+
+    n_nodes: int = 5
+    streams: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+
+
+@dataclass(frozen=True)
+class ShortestPathConfig(ConfigBase):
+    """Knobs of the widest-path baselines (static and dynamic)."""
+
+    n_nodes: int = 10
+    streams: int = 4
+    max_hops: int = 3
+    #: Replan cadence of the dynamic variant (ignored by the static one).
+    replan_interval: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        if self.replan_interval <= 0:
+            raise ValueError("replan_interval must be positive")
+
+
+@dataclass(frozen=True)
+class BlobRelayConfig(ConfigBase):
+    """Knobs of the blob-store staging baseline."""
+
+    staging_region: str | None = None
+    object_size: float = 64 * MB
+    parallel_objects: int = 2
+
+    def __post_init__(self) -> None:
+        if self.object_size <= 0:
+            raise ValueError("object_size must be positive")
+        if self.parallel_objects < 1:
+            raise ValueError("parallel_objects must be >= 1")
+
+
+@dataclass(frozen=True)
+class GridFtpConfig(ConfigBase):
+    """Knobs of the GridFTP-like striped-endpoint baseline."""
+
+    streams: int = 8
+    submission_latency: float = 5.0
+    endpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        if self.submission_latency < 0:
+            raise ValueError("submission_latency must be non-negative")
+        if self.endpoints < 1:
+            raise ValueError("endpoints must be >= 1")
+
+
+def resolve_config(cls, config, legacy_kwargs, old: str, new: str):
+    """Normalise the (config | dict | legacy kwargs) calling convention.
+
+    ``config`` may be an instance of ``cls``, a dict for
+    ``cls.from_dict``, or ``None``; ``legacy_kwargs`` are pre-dataclass
+    keyword arguments, accepted with a :class:`DeprecationWarning` and
+    merged *into* the config (they override its fields, preserving the
+    old call sites' semantics exactly).
+    """
+    if config is None:
+        config = cls()
+    elif isinstance(config, dict):
+        config = cls.from_dict(config)
+    elif not isinstance(config, cls):
+        raise TypeError(
+            f"expected {cls.__name__}, dict, or None — got {type(config).__name__}"
+        )
+    if legacy_kwargs:
+        deprecated_call(old, new)
+        config = config.replace(**legacy_kwargs)
+    return config

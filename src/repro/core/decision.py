@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+
+from repro.config import ConfigBase
 from typing import Callable
 
 from repro.cloud.deployment import CloudEnvironment
@@ -40,7 +42,7 @@ _RELAY_DELIVERY_DISCOUNT = 0.8
 
 
 @dataclass
-class DecisionConfig:
+class DecisionConfig(ConfigBase):
     """Tunables of the decision loop."""
 
     #: Seconds between observe/re-plan checks of an active transfer.

@@ -69,6 +69,28 @@ class FaultPlan:
         self.events.sort()
         return self
 
+    # -- dict form (config surface / sweep cache keys) -----------------
+    def to_dict(self) -> dict:
+        return {
+            "events": [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "target": e.target,
+                    "param": e.param,
+                    "param2": e.param2,
+                }
+                for e in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls()
+        for entry in data.get("events", []):
+            plan.add(FaultEvent(**entry))
+        return plan
+
     # -- builders ------------------------------------------------------
     def crash_vm(
         self, time: float, vm_id: str, restart_after: float | None = None

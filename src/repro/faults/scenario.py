@@ -22,9 +22,12 @@ result set; the chaos test and the E11 benchmark both call this.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.cloud.deployment import CloudEnvironment
+from repro.config import ChaosConfig, resolve_config
+from repro.report import ScenarioReport, metrics_snapshot
 from repro.core.engine import SageEngine
 from repro.faults.injector import AppliedFault, FaultInjector
 from repro.faults.plan import FaultPlan, chaos_scenario
@@ -107,18 +110,19 @@ class ChaosResult:
 
 
 def run_chaos(
-    seed: int = 2013,
-    duration: float = 240.0,
-    site_regions: tuple[str, str] = ("NEU", "WEU"),
-    aggregation_region: str = "NUS",
-    records_per_s: float = 300.0,
-    plan: FaultPlan | None = None,
-    inject: bool = True,
-    delivery_timeout: float = 15.0,
-    max_retries: int = 8,
+    config: ChaosConfig | dict | None = None,
+    *,
+    plan: FaultPlan | dict | None = None,
     observer=None,
-) -> ChaosResult:
+    **legacy,
+) -> ScenarioReport:
     """Run the scripted chaos scenario to completion (virtual time).
+
+    Takes a :class:`~repro.config.ChaosConfig` (or its dict form); the
+    pre-dataclass keyword surface (``seed=``, ``duration=``, ...) still
+    works but emits :class:`DeprecationWarning`. Returns a
+    :class:`~repro.report.ScenarioReport` whose ``details`` is the
+    :class:`ChaosResult` payload (attribute access falls through).
 
     ``plan=None`` arms the canonical scenario: the first site's first two
     sender VMs crash at t≈60s (restarting 90s later) and the first
@@ -126,6 +130,26 @@ def run_chaos(
     duplication window early on. ``inject=False`` runs the identical
     workload fault-free — the baseline arm of experiment E11.
     """
+    if isinstance(config, int):  # pre-dataclass positional seed
+        legacy["seed"] = config
+        config = None
+    cfg = resolve_config(
+        ChaosConfig, config, legacy,
+        "run_chaos(seed=..., duration=..., ...)",
+        "run_chaos(ChaosConfig(...))",
+    )
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    wall0 = time.perf_counter()
+    seed = cfg.seed
+    duration = cfg.duration
+    site_regions = cfg.site_regions
+    aggregation_region = cfg.aggregation_region
+    records_per_s = cfg.records_per_s
+    inject = cfg.inject
+    delivery_timeout = cfg.delivery_timeout
+    max_retries = cfg.max_retries
+
     env = CloudEnvironment(seed=seed, variability_sigma=0.0, glitches=False)
     spec = {site_regions[0]: 4, site_regions[1]: 3, aggregation_region: 4}
     engine = SageEngine(env, deployment_spec=spec, observer=observer)
@@ -186,7 +210,7 @@ def run_chaos(
     detector = engine.detector
     meter = engine.env.meter.snapshot()
     backends = [site.shipping for site in runtime.sites.values()]
-    return ChaosResult(
+    result = ChaosResult(
         seed=seed,
         duration=duration,
         ingested=ingested,
@@ -209,6 +233,15 @@ def run_chaos(
         wan_bytes=runtime.wan_bytes(),
         egress_bytes=meter.egress_bytes,
         egress_usd=meter.egress_usd,
+    )
+    return ScenarioReport(
+        scenario="chaos",
+        config=cfg.to_dict(),
+        seed=seed,
+        virtual_seconds=engine.sim.now,
+        wall_seconds=time.perf_counter() - wall0,
+        details=result,
+        metrics=metrics_snapshot(observer),
     )
 
 

@@ -31,11 +31,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config import ConfigBase
+
 POLICIES = ("block", "shed", "degrade")
 
 
 @dataclass(frozen=True)
-class FlowConfig:
+class FlowConfig(ConfigBase):
     """End-to-end flow-control knobs for a streaming job."""
 
     #: Overload policy name: ``block`` | ``shed`` | ``degrade``.

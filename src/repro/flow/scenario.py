@@ -31,10 +31,13 @@ exactly per policy:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.cloud.deployment import CloudEnvironment
+from repro.config import OverloadConfig, resolve_config
 from repro.core.engine import SageEngine
+from repro.report import ScenarioReport, metrics_snapshot
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.flow.policy import FlowConfig
@@ -170,22 +173,19 @@ class OverloadResult:
 
 
 def run_overload(
-    policy: str = "block",
-    seed: int = 2013,
-    duration: float = 240.0,
-    site_regions: tuple[str, str] = ("NEU", "WEU"),
-    aggregation_region: str = "NUS",
-    base_rate: float = 100.0,
-    burst_factor: float = 5.0,
-    burst_window: tuple[float, float] = (60.0, 90.0),
-    max_backlog: int = 1500,
-    brownout: tuple[float, float, float] | None = (70.0, 40.0, 0.0),
-    crash_at: float | None = 150.0,
-    restart_after: float = 15.0,
-    checkpoint_interval: float = 15.0,
+    config: OverloadConfig | str | dict | None = None,
+    *,
     observer=None,
-) -> OverloadResult:
+    **legacy,
+) -> ScenarioReport:
     """Run the scripted overload scenario to completion (virtual time).
+
+    Takes an :class:`~repro.config.OverloadConfig` (or its dict form);
+    the pre-dataclass keyword surface (``policy=``, ``seed=``, ...) —
+    including the old ``policy`` first positional — still works but
+    emits :class:`DeprecationWarning`. Returns a
+    :class:`~repro.report.ScenarioReport` whose ``details`` is the
+    :class:`OverloadResult` payload (attribute access falls through).
 
     Each site's processing capacity is set to twice ``base_rate``, so
     the ``burst_factor``× spike in ``burst_window`` overloads it by a
@@ -196,6 +196,29 @@ def run_overload(
     disables). Same seed, same numbers — the determinism test relies
     on it.
     """
+    if isinstance(config, str):  # pre-dataclass positional policy
+        legacy["policy"] = config
+        config = None
+    cfg = resolve_config(
+        OverloadConfig, config, legacy,
+        "run_overload(policy=..., seed=..., ...)",
+        "run_overload(OverloadConfig(...))",
+    )
+    wall0 = time.perf_counter()
+    policy = cfg.policy
+    seed = cfg.seed
+    duration = cfg.duration
+    site_regions = cfg.site_regions
+    aggregation_region = cfg.aggregation_region
+    base_rate = cfg.base_rate
+    burst_factor = cfg.burst_factor
+    burst_window = cfg.burst_window
+    max_backlog = cfg.max_backlog
+    brownout = cfg.brownout
+    crash_at = cfg.crash_at
+    restart_after = cfg.restart_after
+    checkpoint_interval = cfg.checkpoint_interval
+
     flow = FlowConfig(
         policy=policy,
         max_backlog=max_backlog,
@@ -335,7 +358,7 @@ def run_overload(
     breakers = [b.breaker for b in backends if b.breaker is not None]
     sources = [src for site in sites for src in site.spec.sources]
     agg = runtime.aggregator
-    return OverloadResult(
+    result = OverloadResult(
         seed=seed,
         policy=policy,
         duration=duration,
@@ -367,6 +390,15 @@ def run_overload(
         batches_replayed=replayed[0],
         latency=runtime.latency_stats(),
         wan_bytes=runtime.wan_bytes(),
+    )
+    return ScenarioReport(
+        scenario="overload",
+        config=cfg.to_dict(),
+        seed=seed,
+        virtual_seconds=engine.sim.now,
+        wall_seconds=time.perf_counter() - wall0,
+        details=result,
+        metrics=metrics_snapshot(observer),
     )
 
 

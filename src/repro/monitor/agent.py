@@ -16,6 +16,8 @@ system design:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.config import ConfigBase
 from repro.cloud.deployment import Deployment
 from repro.cloud.network import FluidNetwork
 from repro.cloud.vm import VM
@@ -29,7 +31,7 @@ from repro.simulation.units import MB, MINUTE
 
 
 @dataclass
-class MonitorConfig:
+class MonitorConfig(ConfigBase):
     """Tunable knobs of the Monitoring Agent."""
 
     #: Seconds between sampling rounds.

@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of deterministic experiment results.
+
+Every sweep shard is a pure function of ``(code, scenario, config,
+seed)`` — the simulations are deterministic by construction — so its
+canonical result can be cached on disk and reused forever, until the
+*code* changes. The cache key is therefore
+``sha256(code fingerprint ‖ scenario ‖ canonical config ‖ seed)``:
+
+* the **code fingerprint** hashes the source text of every module under
+  ``repro`` (sorted walk, path-tagged), so any edit to simulation code
+  invalidates every entry at once — coarse, but never stale;
+* the **canonical config** is the sorted-key JSON of the shard's config
+  dict, so semantically identical configs hit the same entry regardless
+  of construction order;
+* the **seed** is the shard's derived child seed.
+
+Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``,
+written atomically (temp file + rename) so a crashed run can never leave
+a half-written entry that a later run would trust. Unreadable or
+corrupt entries are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.report import canonical_json
+
+_FINGERPRINT_CACHE: dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source of every module in the ``repro`` package."""
+    import repro
+
+    pkg_root = Path(repro.__file__).parent
+    cache_key = str(pkg_root)
+    cached = _FINGERPRINT_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(pkg_root.rglob("*.py")):
+        digest.update(str(path.relative_to(pkg_root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_CACHE[cache_key] = fingerprint
+    return fingerprint
+
+
+class ResultCache:
+    """Content-addressed store of canonical shard results."""
+
+    def __init__(self, root: str | Path, fingerprint: str | None = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, scenario: str, config: dict, seed: int) -> str:
+        material = "\x1f".join(
+            (self.fingerprint, scenario, canonical_json(config), str(int(seed)))
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, result: dict) -> Path:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "fingerprint": self.fingerprint, "result": result},
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))

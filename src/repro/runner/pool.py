@@ -1,0 +1,172 @@
+"""The parallel sweep runner.
+
+:class:`SweepRunner` shards a list of :class:`~repro.runner.tasks.SweepTask`
+across a spawn-based process pool. The execution model keeps parallel
+output bit-identical to serial:
+
+* every shard's child seed is derived *before* dispatch, from the root
+  seed and the shard name only (:func:`~repro.runner.seeds.derive_seed`)
+  — never from pool scheduling;
+* shards are pure functions of ``(code, scenario, config, seed)``, so
+  completion order cannot matter; results are reassembled in task
+  order;
+* the pool uses the ``spawn`` start method even on platforms that
+  default to ``fork``, so a worker sees exactly the clean-interpreter
+  state the determinism tests pin.
+
+Cache lookups happen in the parent before dispatch: a warm cache runs
+zero simulations. Per-shard progress and failures are folded into the
+``repro.obs`` registry under ``runner_*`` metric names.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from repro.obs import NULL_OBSERVER
+from repro.runner.cache import ResultCache
+from repro.runner.report import ShardResult, SweepReport
+from repro.runner.seeds import derive_seed
+from repro.runner.tasks import SweepTask, execute_task
+
+
+class SweepRunner:
+    """Run sweeps over a process pool with result caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        root_seed: int = 2013,
+        observer=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.root_seed = root_seed
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        obs = observer if observer is not None else NULL_OBSERVER
+        self.observer = obs
+        self._m_shards = obs.counter("runner_shards_total")
+        self._m_failures = obs.counter("runner_shard_failures_total")
+        self._m_hits = obs.counter("runner_cache_hits_total")
+        self._m_misses = obs.counter("runner_cache_misses_total")
+        self._m_executed = obs.counter("runner_shards_executed_total")
+        self._m_inflight = obs.gauge("runner_shards_inflight")
+
+    def seed_for(self, task: SweepTask) -> int:
+        return derive_seed(self.root_seed, task.name)
+
+    def run(self, tasks: list[SweepTask]) -> SweepReport:
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate shard names {dupes}")
+        wall0 = time.perf_counter()
+        shards: dict[str, ShardResult] = {}
+        hits = misses = 0
+
+        pending: list[tuple[SweepTask, int, str | None]] = []
+        for task in tasks:
+            self._m_shards.inc()
+            seed = self.seed_for(task)
+            key = None
+            if self.cache is not None:
+                key = self.cache.key(task.scenario, task.config, seed)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    self._m_hits.inc()
+                    shards[task.name] = ShardResult(
+                        name=task.name,
+                        scenario=task.scenario,
+                        seed=seed,
+                        ok=True,
+                        cached=True,
+                        wall_seconds=0.0,
+                        result=cached,
+                    )
+                    continue
+            misses += 1
+            self._m_misses.inc()
+            pending.append((task, seed, key))
+
+        for task, seed, key, outcome in self._dispatch(pending):
+            self._m_executed.inc()
+            if isinstance(outcome, BaseException):
+                self._m_failures.inc()
+                shards[task.name] = ShardResult(
+                    name=task.name,
+                    scenario=task.scenario,
+                    seed=seed,
+                    ok=False,
+                    cached=False,
+                    wall_seconds=0.0,
+                    error=f"{type(outcome).__name__}: {outcome}",
+                )
+                continue
+            result = outcome["result"]
+            if self.cache is not None and key is not None:
+                self.cache.put(key, result)
+            shards[task.name] = ShardResult(
+                name=task.name,
+                scenario=task.scenario,
+                seed=seed,
+                ok=True,
+                cached=False,
+                wall_seconds=outcome["wall_seconds"],
+                result=result,
+            )
+
+        return SweepReport(
+            root_seed=self.root_seed,
+            jobs=self.jobs,
+            shards=tuple(shards[t.name] for t in tasks),
+            wall_seconds=time.perf_counter() - wall0,
+            cache_hits=hits,
+            cache_misses=misses,
+            executed=len(pending),
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, pending):
+        """Yield ``(task, seed, key, outcome)`` for every pending shard.
+
+        ``outcome`` is the worker's payload dict, or the exception the
+        shard raised. ``jobs == 1`` executes inline — same code path as
+        a worker, no pool, so single-job runs stay debuggable.
+        """
+        if not pending:
+            return
+        payloads = [
+            {**task.to_dict(), "seed": seed} for task, seed, _ in pending
+        ]
+        if self.jobs == 1:
+            for (task, seed, key), payload in zip(pending, payloads):
+                self._m_inflight.set(1)
+                try:
+                    outcome = execute_task(payload)
+                except Exception as exc:  # noqa: BLE001 - shard isolation
+                    outcome = exc
+                self._m_inflight.set(0)
+                yield task, seed, key, outcome
+            return
+        ctx = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(execute_task, payload): item
+                for item, payload in zip(pending, payloads)
+            }
+            not_done = set(futures)
+            while not_done:
+                self._m_inflight.set(len(not_done))
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, seed, key = futures[future]
+                    exc = future.exception()
+                    outcome = exc if exc is not None else future.result()
+                    yield task, seed, key, outcome
+            self._m_inflight.set(0)

@@ -1,0 +1,148 @@
+"""Sweep outcome: per-shard results plus cache/parallelism accounting.
+
+The deterministic payload of a sweep is the ordered list of per-shard
+canonical results; everything else (wall clocks, cache hits, job count)
+is bookkeeping that legitimately varies between runs. The two are kept
+strictly apart: :meth:`SweepReport.canonical_lines` and
+:meth:`SweepReport.digest` cover only the payload — a ``--jobs 4`` run,
+a ``--jobs 1`` run, and a warm-cache replay of either must all produce
+the same digest — while :meth:`SweepReport.write_jsonl` records both for
+humans and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.report import canonical_json
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one shard of a sweep."""
+
+    name: str
+    scenario: str
+    seed: int
+    ok: bool
+    #: Served from the result cache (no simulation executed).
+    cached: bool
+    wall_seconds: float
+    #: Canonical result dict (``None`` iff the shard failed).
+    result: dict | None = None
+    error: str | None = None
+
+    def canonical_dict(self) -> dict:
+        """The deterministic projection of this shard."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "result": self.result,
+        }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a sweep run produced, in task order."""
+
+    root_seed: int
+    jobs: int
+    shards: tuple[ShardResult, ...]
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+    #: Shards actually simulated this run (misses that were dispatched).
+    executed: int
+
+    @property
+    def failures(self) -> tuple[ShardResult, ...]:
+        return tuple(s for s in self.shards if not s.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def canonical_lines(self) -> list[str]:
+        """One deterministic JSON line per shard, in task order."""
+        return [canonical_json(s.canonical_dict()) for s in self.shards]
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical payload — the byte-identity anchor."""
+        h = hashlib.sha256()
+        for line in self.canonical_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the run log: one line per shard, then a summary line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for shard in self.shards:
+                fh.write(
+                    json.dumps(
+                        {
+                            "kind": "shard",
+                            "name": shard.name,
+                            "scenario": shard.scenario,
+                            "seed": shard.seed,
+                            "ok": shard.ok,
+                            "cached": shard.cached,
+                            "wall_seconds": round(shard.wall_seconds, 6),
+                            "error": shard.error,
+                            "result": shard.result,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "summary",
+                        "root_seed": self.root_seed,
+                        "jobs": self.jobs,
+                        "shards": len(self.shards),
+                        "failures": len(self.failures),
+                        "cache_hits": self.cache_hits,
+                        "cache_misses": self.cache_misses,
+                        "executed": self.executed,
+                        "wall_seconds": round(self.wall_seconds, 6),
+                        "digest": self.digest(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        return path
+
+    def describe(self) -> str:
+        lines = [
+            f"sweep: {len(self.shards)} shards, jobs={self.jobs}, "
+            f"root seed {self.root_seed}",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100.0 * self.hit_ratio:.0f}% hit ratio), "
+            f"{self.executed} simulated",
+            f"wall: {self.wall_seconds:.2f}s",
+            f"digest: {self.digest()}",
+        ]
+        for s in self.shards:
+            status = "cached" if s.cached else ("ok" if s.ok else "FAILED")
+            lines.append(
+                f"  {s.name:<28} {s.scenario:<10} seed={s.seed:<20d} "
+                f"{status:>7}  {s.wall_seconds:7.2f}s"
+                + (f"  {s.error}" if s.error else "")
+            )
+        if not self.ok:
+            lines.append(f"FAILURES: {len(self.failures)}")
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Sweep tasks: what a shard runs, and how the worker executes it.
+
+A :class:`SweepTask` is pure data — a shard name (its identity within
+the sweep, feeding seed derivation), a scenario reference, and a config
+dict *without* a seed. Scenario references are either names in the
+built-in registry (``"chaos"``, ``"overload"``) or dotted import paths
+``"pkg.module:callable"`` for user-defined experiments; either way the
+worker process resolves them by import, so tasks pickle as plain data
+and spawn-based pools see exactly what fork-based pools would.
+
+A registered scenario is ``(config_cls, run_fn)`` where ``run_fn(cfg,
+observer=None)`` returns a :class:`~repro.report.ScenarioReport`. A
+dotted-path callable instead has the signature ``fn(config: dict, seed:
+int) -> ScenarioReport | dict``; a dict return is taken as an
+already-canonical result. Execution always normalises to the canonical
+dict — the only currency the cache and the byte-identity checks trade
+in.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+
+from repro.report import ScenarioReport
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One shard of a sweep: a named, seedless scenario configuration."""
+
+    #: Shard identity within the sweep; feeds child-seed derivation and
+    #: must be unique across the sweep's tasks.
+    name: str
+    #: Registry name ("chaos", "overload") or "module:callable" path.
+    scenario: str
+    #: Scenario config as a plain dict, WITHOUT a seed — the runner
+    #: injects the derived child seed.
+    config: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepTask":
+        return cls(
+            name=data["name"],
+            scenario=data["scenario"],
+            config=dict(data.get("config", {})),
+        )
+
+
+_REGISTRY: dict[str, tuple[type, object]] = {}
+
+
+def register_scenario(name: str, config_cls, run_fn) -> None:
+    """Register ``name`` as a sweepable scenario.
+
+    ``config_cls`` must provide ``from_dict`` and have a ``seed`` field;
+    ``run_fn(config, observer=None)`` must return a ``ScenarioReport``.
+    """
+    if ":" in name:
+        raise ValueError("registry names must not contain ':'")
+    _REGISTRY[name] = (config_cls, run_fn)
+
+
+def registered_scenarios() -> list[str]:
+    _ensure_builtin()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtin() -> None:
+    if "chaos" in _REGISTRY:
+        return
+    # Imported lazily: the registry must be importable from a spawn
+    # worker without dragging the whole scenario stack in at module
+    # import time.
+    from repro.config import ChaosConfig, OverloadConfig
+    from repro.faults.scenario import run_chaos
+    from repro.flow.scenario import run_overload
+
+    _REGISTRY.setdefault("chaos", (ChaosConfig, run_chaos))
+    _REGISTRY.setdefault("overload", (OverloadConfig, run_overload))
+
+
+def _resolve_dotted(ref: str):
+    module_name, _, attr = ref.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"bad scenario reference {ref!r}")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr, None)
+    if not callable(fn):
+        raise ValueError(f"{ref!r} does not resolve to a callable")
+    return fn
+
+
+def execute_task(payload: dict) -> dict:
+    """Run one shard to completion. Worker-side entry point.
+
+    ``payload`` is ``{"name", "scenario", "config", "seed"}``; returns
+    ``{"name", "result", "wall_seconds"}`` where ``result`` is the
+    shard's canonical dict. Exceptions propagate — the pool maps them to
+    failed shards.
+    """
+    scenario = payload["scenario"]
+    config = payload["config"]
+    seed = payload["seed"]
+    wall0 = time.perf_counter()
+    if ":" in scenario:
+        report = _resolve_dotted(scenario)(dict(config), seed)
+    else:
+        _ensure_builtin()
+        if scenario not in _REGISTRY:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; "
+                f"registered: {registered_scenarios()}"
+            )
+        config_cls, run_fn = _REGISTRY[scenario]
+        cfg = config_cls.from_dict({**config, "seed": seed})
+        report = run_fn(cfg)
+    if isinstance(report, ScenarioReport):
+        result = report.canonical_dict()
+    elif isinstance(report, dict):
+        result = report
+    else:
+        raise TypeError(
+            f"scenario {scenario!r} returned {type(report).__name__}; "
+            "expected ScenarioReport or dict"
+        )
+    return {
+        "name": payload["name"],
+        "result": result,
+        "wall_seconds": time.perf_counter() - wall0,
+    }

@@ -1,0 +1,35 @@
+"""Tiny importable scenarios for the sweep-runner tests.
+
+These live in their own module (not a test file) because spawn-based
+pool workers resolve dotted scenario references by import — the module
+must exist identically in a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def tiny(config: dict, seed: int) -> dict:
+    """A cheap deterministic 'experiment': seeded draws over the config."""
+    rng = random.Random(seed)
+    n = int(config.get("n", 4))
+    return {
+        "scenario": "tiny",
+        "seed": seed,
+        "config": dict(sorted(config.items())),
+        "draws": [rng.randint(0, 10**9) for _ in range(n)],
+        "mean": sum(rng.random() for _ in range(16)) / 16.0,
+    }
+
+
+def flaky(config: dict, seed: int) -> dict:
+    """Fails deterministically when told to — exercises failure paths."""
+    if config.get("explode"):
+        raise RuntimeError("scripted shard failure")
+    return tiny(config, seed)
+
+
+def seed_probe(config: dict, seed: int) -> dict:
+    """Returns only the seed it was handed — pins derivation plumbing."""
+    return {"seed": seed}

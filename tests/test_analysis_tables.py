@@ -49,3 +49,16 @@ def test_experiment_record_checks_and_verdict():
 def test_shape_check_render():
     assert ShapeCheck("c", True).render() == "  [PASS] c"
     assert ShapeCheck("c", False, "why").render() == "  [FAIL] c — why"
+
+
+def test_experiment_record_to_dict_is_json_safe():
+    import json
+
+    rec = ExperimentRecord("EX", "example", seed=1, parameters={"w": (60, 90)})
+    rec.check("ok", True, "d")
+    rec.note("n")
+    wire = json.loads(json.dumps(rec.to_dict()))
+    assert wire["exp_id"] == "EX"
+    assert wire["parameters"] == {"w": "(60, 90)"}
+    assert wire["checks"] == [{"claim": "ok", "passed": True, "detail": "d"}]
+    assert wire["all_passed"] is True

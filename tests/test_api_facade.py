@@ -1,0 +1,77 @@
+"""The unified public surface: ``repro`` / ``repro.api`` re-exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.report import ScenarioReport, StreamReport
+
+
+def test_package_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_api_all_names_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_package_reexports_are_the_api_objects():
+    for name in repro.__all__:
+        if name in {"__version__", "SageEngine"}:
+            continue
+        assert getattr(repro, name) is getattr(api, name), name
+
+
+def test_run_experiment_by_name():
+    report = repro.run_experiment(
+        "overload",
+        {"policy": "shed", "duration": 60.0, "crash_at": None, "brownout": None},
+        seed=31,
+    )
+    assert isinstance(report, ScenarioReport)
+    assert report.scenario == "overload"
+    assert report.seed == 31
+    assert report.config["policy"] == "shed"
+
+
+def test_run_experiment_unknown_scenario():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        repro.run_experiment("nope")
+
+
+def test_run_experiment_rejects_foreign_config():
+    with pytest.raises(TypeError):
+        repro.run_experiment("overload", object())
+
+
+def test_default_suite_shape():
+    tasks = repro.default_suite(duration=60.0)
+    names = [t.name for t in tasks]
+    assert names == [
+        "chaos-inject",
+        "chaos-baseline",
+        "overload-block",
+        "overload-shed",
+        "overload-degrade",
+    ]
+    assert all(t.config["duration"] == 60.0 for t in tasks)
+
+
+def test_sage_session_facade_runs_a_transfer():
+    session = repro.SageSession({"NEU": 1, "WEU": 1}, seed=4)
+    try:
+        result = session.transfer("NEU", "WEU", size=16 * 1024 * 1024)
+    finally:
+        session.close()
+    assert isinstance(result, repro.TransferResult)
+    assert result.size == 16 * 1024 * 1024
+    assert result.seconds > 0
+    assert result.throughput > 0
+
+
+def test_stream_report_surface_exists():
+    assert hasattr(StreamReport, "from_runtime")

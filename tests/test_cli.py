@@ -94,6 +94,41 @@ def test_cmd_stream(capsys):
     assert "latency p50" in out
 
 
+def test_cmd_chaos_renders_scenario_report(capsys):
+    assert main(["--seed", "5", "chaos", "--duration", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario chaos: seed=5" in out
+    assert "verdict" in out
+
+
+def test_cmd_overload_renders_scenario_report(capsys):
+    assert (
+        main(["--seed", "5", "overload", "--duration", "60", "--no-crash"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "scenario overload: seed=5" in out
+    assert "verdict" in out
+
+
+def test_cmd_sweep_warm_cache_and_digest(tmp_path, capsys):
+    args = [
+        "sweep", "--jobs", "2", "--duration", "60",
+        "--cache-dir", str(tmp_path / "cache"), "--digest",
+        "--jsonl", str(tmp_path / "sweep.jsonl"),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "5 simulated" in cold
+    assert (tmp_path / "sweep.jsonl").exists()
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "5 hits / 0 misses (100% hit ratio), 0 simulated" in warm
+    # The bare digest on the last line is the CI comparison anchor.
+    assert cold.strip().splitlines()[-1] == warm.strip().splitlines()[-1]
+
+
 # ----------------------------------------------------------------------
 # Observability flags
 # ----------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Config dataclasses, deprecation shims, and the ScenarioReport surface."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.baselines.blob_relay import BlobRelay
+from repro.baselines.direct import EndPoint2EndPoint
+from repro.baselines.gridftp import GridFtpLike
+from repro.baselines.parallel_static import StaticParallel
+from repro.baselines.shortest_path import (
+    DynamicShortestPath,
+    StaticShortestPath,
+)
+from repro.config import (
+    BlobRelayConfig,
+    ChaosConfig,
+    DirectConfig,
+    GridFtpConfig,
+    OverloadConfig,
+    ParallelStaticConfig,
+    ShortestPathConfig,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.scenario import run_chaos
+from repro.flow.scenario import run_overload
+from repro.report import ScenarioReport, canonical_json
+
+FAST_OVERLOAD = dict(duration=60.0, crash_at=40.0, burst_window=(20.0, 30.0))
+FAST_CHAOS = dict(duration=60.0)
+
+
+# ----------------------------------------------------------------------
+# Dict round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "cls",
+    [
+        ChaosConfig,
+        OverloadConfig,
+        DirectConfig,
+        ParallelStaticConfig,
+        ShortestPathConfig,
+        BlobRelayConfig,
+        GridFtpConfig,
+    ],
+)
+def test_config_json_roundtrip(cls):
+    cfg = cls()
+    wire = json.loads(json.dumps(cfg.to_dict()))  # tuples become lists
+    assert cls.from_dict(wire) == cfg
+
+
+def test_tuple_fields_restored_from_json_lists():
+    cfg = OverloadConfig.from_dict(
+        {"burst_window": [10.0, 20.0], "site_regions": ["SEA", "SEA2"]}
+    )
+    assert cfg.burst_window == (10.0, 20.0)
+    assert cfg.site_regions == ("SEA", "SEA2")
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(TypeError, match="unknown fields"):
+        ChaosConfig.from_dict({"typo_field": 1})
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ValueError):
+        ChaosConfig(duration=-1.0)
+    with pytest.raises(ValueError):
+        OverloadConfig(burst_factor=0.5)
+    with pytest.raises(ValueError):
+        DirectConfig(streams=0)
+
+
+def test_fault_plan_dict_roundtrip():
+    plan = FaultPlan().crash_vm(10.0, "vm-1", restart_after=5.0)
+    wire = json.loads(json.dumps(plan.to_dict()))
+    clone = FaultPlan.from_dict(wire)
+    assert clone.to_dict() == plan.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Deprecated call paths: warn, but produce identical results
+# ----------------------------------------------------------------------
+def test_run_overload_legacy_kwargs_warn_and_match():
+    with pytest.deprecated_call():
+        legacy = run_overload(policy="shed", seed=99, **FAST_OVERLOAD)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        cfg = OverloadConfig(policy="shed", seed=99, **FAST_OVERLOAD)
+        modern = run_overload(cfg)
+    assert legacy.canonical_json() == modern.canonical_json()
+
+
+def test_run_chaos_legacy_kwargs_warn_and_match():
+    with pytest.deprecated_call():
+        legacy = run_chaos(seed=7, inject=False, **FAST_CHAOS)
+    cfg = ChaosConfig(seed=7, inject=False, **FAST_CHAOS)
+    modern = run_chaos(cfg)
+    assert legacy.canonical_json() == modern.canonical_json()
+
+
+def test_run_chaos_positional_seed_still_accepted():
+    with pytest.deprecated_call():
+        report = run_chaos(11, duration=60.0, inject=False)
+    assert report.seed == 11
+
+
+@pytest.mark.parametrize(
+    ("cls", "legacy_kwargs", "attr", "expected"),
+    [
+        (EndPoint2EndPoint, {"streams": 3}, "streams", 3),
+        (StaticParallel, {"n_nodes": 2}, "n_nodes", 2),
+        (StaticShortestPath, {"max_hops": 2}, "max_hops", 2),
+        (DynamicShortestPath, {"replan_interval": 5.0}, "replan_interval", 5.0),
+        (BlobRelay, {"parallel_objects": 3}, "parallel_objects", 3),
+        (GridFtpLike, {"endpoints": 3}, "endpoints", 3),
+    ],
+)
+def test_baseline_legacy_kwargs_warn(cls, legacy_kwargs, attr, expected):
+    with pytest.deprecated_call():
+        baseline = cls(**legacy_kwargs)
+    assert getattr(baseline, attr) == expected
+
+
+def test_baseline_config_path_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        baseline = EndPoint2EndPoint(DirectConfig(streams=2))
+    assert baseline.streams == 2
+    assert baseline.config == DirectConfig(streams=2)
+
+
+# ----------------------------------------------------------------------
+# ScenarioReport
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def overload_report():
+    return run_overload(OverloadConfig(policy="block", seed=5, **FAST_OVERLOAD))
+
+
+def test_scenario_report_shape(overload_report):
+    r = overload_report
+    assert isinstance(r, ScenarioReport)
+    assert r.scenario == "overload"
+    assert r.seed == 5
+    assert r.config["policy"] == "block"
+    assert r.virtual_seconds > 0
+    assert r.wall_seconds > 0
+
+
+def test_scenario_report_delegates_to_details(overload_report):
+    # Legacy attribute access must keep working on the wrapped result.
+    assert overload_report.policy == "block"
+    assert overload_report.ingested > 0
+    with pytest.raises(AttributeError, match="no attribute"):
+        _ = overload_report.definitely_not_a_field
+
+
+def test_canonical_dict_excludes_host_dependent_fields(overload_report):
+    canon = overload_report.canonical_dict()
+    assert "wall_seconds" not in canon
+    assert "metrics" not in canon
+    assert canon["scenario"] == "overload"
+    assert canon["seed"] == 5
+    # Must be pure JSON (no tuples, NaN, or dataclasses left).
+    parsed = json.loads(overload_report.canonical_json())
+    assert parsed == json.loads(canonical_json(canon))
+
+
+def test_describe_is_human_readable(overload_report):
+    text = overload_report.describe()
+    assert "overload" in text
+    assert "seed" in text

@@ -1,0 +1,75 @@
+"""The content-addressed result cache: keying, durability, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cache import ResultCache, code_fingerprint
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+
+
+def test_roundtrip(cache):
+    key = cache.key("tiny", {"n": 3}, 42)
+    assert cache.get(key) is None
+    cache.put(key, {"answer": 42, "draws": [1, 2, 3]})
+    assert cache.get(key) == {"answer": 42, "draws": [1, 2, 3]}
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_key_sensitivity(cache):
+    base = cache.key("tiny", {"n": 3}, 42)
+    assert cache.key("tiny", {"n": 4}, 42) != base
+    assert cache.key("tiny", {"n": 3}, 43) != base
+    assert cache.key("other", {"n": 3}, 42) != base
+    other = ResultCache(cache.root, fingerprint="0" * 64)
+    assert other.key("tiny", {"n": 3}, 42) != base
+
+
+def test_key_ignores_config_construction_order(cache):
+    assert cache.key("t", {"a": 1, "b": 2}, 7) == cache.key(
+        "t", {"b": 2, "a": 1}, 7
+    )
+
+
+def test_fingerprint_change_invalidates_entries(tmp_path):
+    old = ResultCache(tmp_path, fingerprint="a" * 64)
+    old.put(old.key("tiny", {}, 1), {"v": 1})
+    new = ResultCache(tmp_path, fingerprint="b" * 64)
+    assert new.get(new.key("tiny", {}, 1)) is None
+
+
+def test_corrupt_entry_is_a_miss_and_rewritable(cache):
+    key = cache.key("tiny", {}, 5)
+    path = cache.put(key, {"v": 5})
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None
+    cache.put(key, {"v": 5})
+    assert cache.get(key) == {"v": 5}
+
+
+def test_entry_with_foreign_key_is_a_miss(cache):
+    key = cache.key("tiny", {}, 6)
+    path = cache.put(key, {"v": 6})
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    entry["key"] = "0" * 64
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(key) is None
+
+
+def test_code_fingerprint_is_stable_and_hex():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64
+    int(fp, 16)
+
+
+def test_default_fingerprint_is_code_fingerprint(tmp_path):
+    assert ResultCache(tmp_path).fingerprint == code_fingerprint()

@@ -1,0 +1,123 @@
+"""Parallel sweep execution: byte-identity, caching, failure isolation.
+
+The shard scenarios live in :mod:`tests._sweep_scenarios` (a plain
+module, not a test file) so spawn-based pool workers can import them in
+a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Observer
+from repro.runner import SweepRunner, SweepTask, derive_seed
+
+TINY = "tests._sweep_scenarios:tiny"
+FLAKY = "tests._sweep_scenarios:flaky"
+PROBE = "tests._sweep_scenarios:seed_probe"
+
+
+def suite(n_shards: int = 5) -> list[SweepTask]:
+    return [
+        SweepTask(name=f"tiny-{i}", scenario=TINY, config={"n": 3 + i})
+        for i in range(n_shards)
+    ]
+
+
+def test_serial_and_parallel_digests_are_byte_identical():
+    serial = SweepRunner(jobs=1, root_seed=2013).run(suite())
+    par2 = SweepRunner(jobs=2, root_seed=2013).run(suite())
+    par4 = SweepRunner(jobs=4, root_seed=2013).run(suite())
+    assert serial.ok and par2.ok and par4.ok
+    assert serial.canonical_lines() == par2.canonical_lines()
+    assert serial.digest() == par2.digest() == par4.digest()
+
+
+def test_warm_cache_executes_zero_simulations(tmp_path):
+    cold = SweepRunner(jobs=2, cache_dir=tmp_path, root_seed=2013).run(suite())
+    warm = SweepRunner(jobs=2, cache_dir=tmp_path, root_seed=2013).run(suite())
+    assert cold.executed == len(suite())
+    assert cold.cache_hits == 0
+    assert warm.executed == 0
+    assert warm.cache_hits == len(suite())
+    assert warm.hit_ratio == 1.0
+    assert all(s.cached for s in warm.shards)
+    assert warm.digest() == cold.digest()
+
+
+def test_root_seed_changes_every_shard(tmp_path):
+    a = SweepRunner(jobs=1, cache_dir=tmp_path, root_seed=1).run(suite(2))
+    b = SweepRunner(jobs=1, cache_dir=tmp_path, root_seed=2).run(suite(2))
+    assert a.digest() != b.digest()
+    # Different seeds mean different cache keys — second run was all misses.
+    assert b.cache_hits == 0
+
+
+def test_shard_failure_is_isolated():
+    tasks = [
+        SweepTask(name="ok-0", scenario=FLAKY, config={"n": 2}),
+        SweepTask(name="boom", scenario=FLAKY, config={"explode": True}),
+        SweepTask(name="ok-1", scenario=FLAKY, config={"n": 2}),
+    ]
+    report = SweepRunner(jobs=2).run(tasks)
+    assert not report.ok
+    by_name = {s.name: s for s in report.shards}
+    assert not by_name["boom"].ok
+    assert "scripted shard failure" in by_name["boom"].error
+    assert by_name["ok-0"].ok and by_name["ok-1"].ok
+    assert by_name["ok-0"].result is not None
+
+
+def test_failed_shard_is_never_cached(tmp_path):
+    tasks = [SweepTask(name="boom", scenario=FLAKY, config={"explode": True})]
+    SweepRunner(jobs=1, cache_dir=tmp_path).run(tasks)
+    rerun = SweepRunner(jobs=1, cache_dir=tmp_path).run(tasks)
+    assert rerun.cache_hits == 0
+    assert not rerun.ok
+
+
+def test_shard_seeds_are_derived_from_name_only():
+    tasks = [
+        SweepTask(name="p-a", scenario=PROBE, config={}),
+        SweepTask(name="p-b", scenario=PROBE, config={"irrelevant": 9}),
+    ]
+    report = SweepRunner(jobs=1, root_seed=77).run(tasks)
+    for shard in report.shards:
+        assert shard.seed == derive_seed(77, shard.name)
+        assert shard.result == {"seed": shard.seed}
+
+
+def test_duplicate_shard_names_rejected():
+    tasks = [
+        SweepTask(name="same", scenario=TINY, config={}),
+        SweepTask(name="same", scenario=TINY, config={"n": 9}),
+    ]
+    with pytest.raises(ValueError, match="duplicate shard names"):
+        SweepRunner(jobs=1).run(tasks)
+
+
+def test_runner_metrics_fold_into_obs(tmp_path):
+    obs = Observer()
+    tasks = suite(3) + [
+        SweepTask(name="boom", scenario=FLAKY, config={"explode": True})
+    ]
+    SweepRunner(jobs=1, cache_dir=tmp_path, observer=obs).run(tasks)
+    snap = {s.name: s.value for s in obs.registry.snapshot().values()}
+    assert snap["runner_shards_total"] == 4
+    assert snap["runner_shard_failures_total"] == 1
+    assert snap["runner_cache_misses_total"] == 4
+    assert snap["runner_shards_executed_total"] == 4
+    SweepRunner(jobs=1, cache_dir=tmp_path, observer=obs).run(tasks)
+    snap = {s.name: s.value for s in obs.registry.snapshot().values()}
+    assert snap["runner_cache_hits_total"] == 3  # failure was never cached
+
+
+def test_jsonl_artifact_has_shards_and_summary(tmp_path):
+    report = SweepRunner(jobs=1).run(suite(2))
+    path = report.write_jsonl(tmp_path / "sweep.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [line["kind"] for line in lines] == ["shard", "shard", "summary"]
+    assert lines[-1]["digest"] == report.digest()
+    assert lines[-1]["failures"] == 0
