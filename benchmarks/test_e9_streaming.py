@@ -18,11 +18,15 @@ sits near the best of both.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.analysis.experiments import ExperimentRecord
 from repro.analysis.tables import render_table
+from repro.obs import Observer
+from repro.obs.bench import BenchRecord, read_bench, write_bench
 from repro.simulation.units import KB, MB
 from repro.streaming.batching import (
     AdaptiveBatchPolicy,
@@ -65,9 +69,18 @@ def make_rate_job(rate: float, ship_raw: bool) -> StreamJob:
 def run_e9a():
     rates = (200.0, 1000.0, 5000.0, 20000.0)
     out = {}
+    profile = None
     for rate in rates:
         for raw in (False, True):
-            engine = fresh_engine(seed=SEED, spec=SPEC, learning_phase=120.0)
+            # The canonical (1000 ev/s, partial-agg) leg runs with the
+            # stage profiler attached and publishes the E9 point of the
+            # perf trajectory; instrumentation only observes, so the
+            # simulated results are unchanged.
+            obs = Observer() if (rate == 1000.0 and not raw) else None
+            wall0 = time.perf_counter()
+            engine = fresh_engine(
+                seed=SEED, spec=SPEC, learning_phase=120.0, observer=obs
+            )
             runtime = GeoStreamRuntime(
                 engine,
                 make_rate_job(rate, raw),
@@ -75,14 +88,17 @@ def run_e9a():
                 per_vm_records_per_s=5000.0,
             )
             runtime.run_for(DURATION)
+            wall = time.perf_counter() - wall0
             stats = runtime.latency_stats()
             out[(rate, raw)] = (stats.p50, stats.p95, runtime.wan_bytes())
-    return rates, out
+            if obs is not None:
+                profile = obs.profiler.snapshot(wall_seconds=wall)
+    return rates, out, profile
 
 
 @pytest.mark.benchmark(group="e9")
-def test_e9a_latency_vs_rate(benchmark, report):
-    rates, out = benchmark.pedantic(run_e9a, rounds=1, iterations=1)
+def test_e9a_latency_vs_rate(benchmark, report, bench_dir):
+    rates, out, profile = benchmark.pedantic(run_e9a, rounds=1, iterations=1)
     rows = []
     for rate in rates:
         p50, p95, wan = out[(rate, False)]
@@ -121,6 +137,31 @@ def test_e9a_latency_vs_rate(benchmark, report):
         f"{out[(5000.0, True)][2] / out[(5000.0, False)][2]:.0f}x",
     )
     report("E9a", table, rec.render())
+
+    # Publish the E9 trajectory point from the instrumented leg.
+    meters = profile["meters"]
+    bench = BenchRecord.from_profile(
+        "e9_streaming",
+        "e9a-rate1000-partial",
+        SEED,
+        profile,
+        config={
+            "rate_per_site": 1000.0,
+            "ship_raw": False,
+            "duration": DURATION,
+            "window": 10.0,
+            "sites": list(SITES),
+            "spec": SPEC,
+        },
+        records=meters.get("records", {}).get("count", 0.0),
+        events=meters.get("events", {}).get("count", 0.0),
+        extras={
+            "p50_s": out[(1000.0, False)][0],
+            "p95_s": out[(1000.0, False)][1],
+            "wan_bytes": out[(1000.0, False)][2],
+        },
+    )
+    read_bench(write_bench(bench, bench_dir))  # round-trip validates
     rec.assert_shape()
 
 

@@ -6,10 +6,12 @@ scaled-down E9a run:
 * **off ≈ free** — with observability disabled (the default), the
   instrumentation hooks reduce to boolean guards and shared no-op
   handles, so the run must not be slower than the fully instrumented
-  run by more than the noise floor; the acceptance bound is 10%.
-* **on is bounded** — enabling metrics + tracing must cost well under
-  50% wall time even on this workload, which is small enough that the
-  fixed instrumentation cost is maximally visible.
+  run by more than 2% (CI gates on this bound; the disabled run does
+  strictly less work, so min-of-rounds makes it reliable).
+* **on is bounded** — enabling metrics + tracing + stage profiling +
+  the flight recorder must cost well under 50% wall time even on this
+  workload, which is small enough that the fixed instrumentation cost
+  is maximally visible.
 
 Wall-clock timings use the best of ``ROUNDS`` runs to shave scheduler
 noise; simulated work is deterministic across repeats.
@@ -72,21 +74,25 @@ def timed_run(observer=None) -> tuple[float, int]:
 
 
 def run_overhead():
-    off = min(timed_run(None)[0] for _ in range(ROUNDS))
-    on_times = []
-    spans = series = 0
+    timed_run(None)  # warmup: imports, allocator, branch caches
+    # off/on rounds interleave so slow drift in machine load lands on
+    # both sides of the ratio; min-of-rounds shaves the noise spikes.
+    off_times, on_times = [], []
+    spans = series = stages = 0
     for _ in range(ROUNDS):
+        off_times.append(timed_run(None)[0])
         obs = Observer()
         t, _ = timed_run(obs)
         on_times.append(t)
         spans = len(obs.tracer.spans)
         series = len(obs.registry.snapshot())
-    return off, min(on_times), spans, series
+        stages = len(obs.profiler.stages())
+    return min(off_times), min(on_times), spans, series, stages
 
 
 @pytest.mark.benchmark(group="obs")
 def test_obs_overhead(benchmark, report):
-    off, on, spans, series = benchmark.pedantic(
+    off, on, spans, series, stages = benchmark.pedantic(
         run_overhead, rounds=1, iterations=1
     )
     _, processed = timed_run(None)
@@ -106,8 +112,8 @@ def test_obs_overhead(benchmark, report):
     )
     rec.check(
         "disabled instrumentation costs nothing: the obs-off run is "
-        "within 10% of the fully instrumented run (it should be faster)",
-        off <= 1.10 * on,
+        "within 2% of the fully instrumented run (it should be faster)",
+        off <= 1.02 * on,
         f"off {off:.3f}s vs on {on:.3f}s ({off / on:.2f}x)",
     )
     rec.check(
@@ -117,8 +123,8 @@ def test_obs_overhead(benchmark, report):
     )
     rec.check(
         "the enabled run actually recorded something",
-        spans > 0 and series > 0,
-        f"{spans} spans, {series} metric series",
+        spans > 0 and series > 0 and stages > 0,
+        f"{spans} spans, {series} metric series, {stages} profiled stages",
     )
     report("OBS", table, rec.render())
     rec.assert_shape()

@@ -1,0 +1,134 @@
+"""Perf baseline — per-stage attribution of the streaming hot path.
+
+Runs the canonical sensor-fusion workload on the E9 deployment fully
+instrumented and pins the stage profiler's contract:
+
+* exclusive per-stage shares sum to 1.0 over the attributed time;
+* attribution covers >= 90% of the externally measured wall clock;
+* every hot-path stage appears (event dispatch, site drain, operator
+  apply, window close, batching, shipping send, global merge);
+* the records/events throughput meters are live.
+
+The run publishes ``BENCH_perf_baseline.json`` via the canonical
+:mod:`repro.obs.bench` writer — the trajectory record the ROADMAP's
+perf work is judged against.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.obs import Observer
+from repro.obs.bench import BenchRecord, read_bench, write_bench
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import SageShipping
+from repro.workloads.sensors import sensor_fusion_job
+from repro.workloads.synthetic import fresh_engine
+
+SEED = 24013
+SPEC = {"NEU": 3, "WEU": 3, "EUS": 3, "NUS": 3}
+SITES = ("NEU", "WEU", "EUS")
+DURATION = 120.0
+
+EXPECTED_STAGES = {
+    "sim.loop",
+    "sim.dispatch",
+    "site.drain",
+    "site.window",
+    "site.batch",
+    "ship.send",
+    "agg.merge",
+    "op.MapOperator",
+}
+
+
+def run_baseline():
+    obs = Observer()
+    # Wall is measured around *everything* — engine construction and the
+    # monitoring learning phase included — so coverage is judged against
+    # the whole run, not a flattering subset.
+    wall0 = time.perf_counter()
+    engine = fresh_engine(
+        seed=SEED, spec=SPEC, learning_phase=120.0, observer=obs
+    )
+    runtime = GeoStreamRuntime(
+        engine,
+        sensor_fusion_job(site_regions=list(SITES), aggregation_region="NUS"),
+        SageShipping.factory(n_nodes=2),
+    )
+    runtime.run_for(DURATION)
+    wall = time.perf_counter() - wall0
+    processed = sum(s.records_processed for s in runtime.sites.values())
+    return obs.profiler.snapshot(wall_seconds=wall), processed
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_baseline(benchmark, report, bench_dir):
+    profile, processed = benchmark.pedantic(
+        run_baseline, rounds=1, iterations=1
+    )
+    stages = profile["stages"]
+    meters = profile["meters"]
+    share_sum = sum(s["share"] for s in stages.values())
+
+    bench = BenchRecord.from_profile(
+        "perf_baseline",
+        "sensor-fusion-e9",
+        SEED,
+        profile,
+        config={
+            "workload": "sensors",
+            "duration": DURATION,
+            "sites": list(SITES),
+            "spec": SPEC,
+        },
+        records=meters.get("records", {}).get("count", 0.0),
+        events=meters.get("events", {}).get("count", 0.0),
+        extras={"records_processed": processed},
+    )
+    path = write_bench(bench, bench_dir)
+    data = read_bench(path)  # round-trip enforces schema + share sum
+
+    table = render_table(
+        ["stage", "self (s)", "share %", "calls"],
+        [
+            [name, s["seconds"], 100.0 * s["share"], s["calls"]]
+            for name, s in stages.items()
+        ],
+        title="Perf baseline — exclusive per-stage wall attribution",
+    )
+
+    rec = ExperimentRecord(
+        "PERF", "Stage attribution baseline on the E9 deployment", SEED,
+        parameters={"duration": f"{DURATION:.0f} s"},
+    )
+    rec.check(
+        "exclusive stage shares sum to 1.0",
+        math.isclose(share_sum, 1.0, abs_tol=1e-6),
+        f"sum {share_sum:.8f}",
+    )
+    rec.check(
+        "attribution covers >= 90% of the measured wall clock",
+        profile["coverage"] >= 0.90,
+        f"coverage {profile['coverage']:.3f}",
+    )
+    rec.check(
+        "every hot-path stage is attributed",
+        EXPECTED_STAGES <= set(stages),
+        f"missing {sorted(EXPECTED_STAGES - set(stages))}" if
+        not EXPECTED_STAGES <= set(stages) else
+        f"{len(stages)} stages attributed",
+    )
+    rec.check(
+        "throughput meters are live",
+        data["records_per_s"] > 0 and data["events_per_s"] > 0,
+        f"{data['records_per_s']:,.0f} records/s, "
+        f"{data['events_per_s']:,.0f} events/s (wall)",
+    )
+    report("PERF", table, rec.render())
+    rec.assert_shape()

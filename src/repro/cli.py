@@ -67,13 +67,25 @@ def parse_spec(text: str | None) -> dict[str, int]:
 
 
 def _observer(args):
-    """Build (once) the run's observer from the --trace/--metrics flags."""
+    """Build (once) the run's observer from the --trace/--metrics/
+    --flight-record flags."""
     obs = getattr(args, "_observer", None)
     if obs is None:
-        wants = getattr(args, "trace", None) or getattr(args, "metrics", None)
+        wants = (
+            getattr(args, "trace", None)
+            or getattr(args, "metrics", None)
+            or getattr(args, "flight_record", None)
+        )
         obs = Observer() if wants else NULL_OBSERVER
         args._observer = obs
     return obs
+
+
+def _force_observer(args) -> Observer:
+    """Commands that *are* observability (perf, dashboard) always record."""
+    if not _observer(args).enabled:
+        args._observer = Observer()
+    return args._observer
 
 
 def _engine(args):
@@ -172,8 +184,8 @@ def cmd_introspect(args) -> int:
     return 0
 
 
-def cmd_stream(args) -> int:
-    engine = _engine(args)
+def _stream_runtime(engine, args) -> GeoStreamRuntime:
+    """Build the CLI's standard streaming runtime from --workload flags."""
     if args.workload == "sensors":
         regions = [r for r in engine.deployment.regions() if r != "NUS"][:3]
         job = sensor_fusion_job(site_regions=regions, aggregation_region="NUS")
@@ -181,13 +193,19 @@ def cmd_stream(args) -> int:
         regions = [r for r in engine.deployment.regions() if r != "WUS"][:3]
         job = clickstream_job(site_regions=regions, aggregation_region="WUS")
     flow = None
-    if args.policy:
+    if getattr(args, "policy", None):
         from repro.flow import FlowConfig
 
         flow = FlowConfig(policy=args.policy, max_backlog=args.max_backlog)
-    runtime = GeoStreamRuntime(
+    return GeoStreamRuntime(
         engine, job, SageShipping.factory(n_nodes=2), flow=flow
     )
+
+
+def cmd_stream(args) -> int:
+    engine = _engine(args)
+    runtime = _stream_runtime(engine, args)
+    flow = runtime.flow
     runtime.run_for(args.duration)
     stats = runtime.latency_stats()
     print(
@@ -234,6 +252,90 @@ def cmd_overload(args) -> int:
     )
     print(report.describe())
     return 0 if report.clean else 1
+
+
+def cmd_perf(args) -> int:
+    """Profile one scenario; print the dashboard; optionally publish it."""
+    from time import perf_counter
+
+    from repro.obs.bench import BenchRecord, write_bench
+    from repro.obs.dashboard import render_dashboard
+
+    obs = _force_observer(args)
+    extras: dict[str, object] = {}
+    wall0 = perf_counter()
+    if args.scenario == "stream":
+        engine = _engine(args)
+        runtime = _stream_runtime(engine, args)
+        runtime.run_for(args.duration)
+        extras = {
+            "results": len(runtime.results),
+            "wan_bytes": runtime.wan_bytes(),
+        }
+        config = {
+            "scenario": "stream",
+            "workload": args.workload,
+            "duration": args.duration,
+            "seed": args.seed,
+        }
+    else:
+        from repro.api import run_experiment
+
+        report = run_experiment(
+            args.scenario,
+            {"duration": args.duration},
+            seed=args.seed,
+            observer=obs,
+        )
+        extras = {"clean": report.clean}
+        config = {
+            "scenario": args.scenario,
+            "duration": args.duration,
+            "seed": args.seed,
+        }
+    wall = perf_counter() - wall0
+    profile = obs.profiler.snapshot(wall_seconds=wall)
+    print(render_dashboard(obs, top=args.top,
+                           title=f"SAGE perf — {args.scenario}"))
+    if args.bench_dir:
+        meters = profile["meters"]
+        record = BenchRecord.from_profile(
+            f"perf_{args.scenario}",
+            args.scenario,
+            args.seed,
+            profile,
+            config=config,
+            records=meters.get("records", {}).get("count", 0.0),
+            events=meters.get("events", {}).get("count", 0.0),
+            extras=extras,
+        )
+        path = write_bench(record, args.bench_dir)
+        print(f"bench: wrote {path}")
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Run a streaming workload, re-rendering the dashboard as it goes."""
+    from repro.obs.dashboard import render_dashboard
+
+    obs = _force_observer(args)
+    engine = _engine(args)
+    runtime = _stream_runtime(engine, args)
+    title = f"SAGE dashboard — {args.workload}"
+    runtime.start()
+    end = engine.sim.now + args.duration
+    # Re-painting with ANSI clear only makes sense on a terminal; when
+    # piped (tests, logs), frames append as plain text blocks.
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    while engine.sim.now < end:
+        engine.run_until(min(end, engine.sim.now + args.refresh))
+        if not args.once:
+            print(clear + render_dashboard(obs, top=args.top, title=title))
+            print()
+    runtime.stop()
+    engine.run_until(engine.sim.now + runtime.job.finalize_grace + 30.0)
+    print(render_dashboard(obs, top=args.top, title=f"{title} (final)"))
+    return 0
 
 
 def cmd_sweep(args) -> int:
@@ -283,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="PATH",
         help="write Prometheus-format metrics of the run to PATH",
+    )
+    parser.add_argument(
+        "--flight-record",
+        metavar="PATH",
+        help="keep a flight-recorder ring of recent events and dump it "
+        "as JSONL to PATH at exit (failing commands also dump "
+        "automatically when any observer is active)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -353,6 +462,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "perf",
+        help="profile a scenario: hot stages, throughput, optional "
+        "BENCH_*.json",
+    )
+    p.add_argument("scenario", choices=("stream", "chaos", "overload"))
+    p.add_argument(
+        "--workload", choices=("sensors", "clicks"), default="sensors"
+    )
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--max-backlog", type=int, default=50_000)
+    p.add_argument("--top", type=int, default=10, help="hot stages shown")
+    p.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        help="write BENCH_perf_<scenario>.json under DIR",
+    )
+
+    p = sub.add_parser(
+        "dashboard",
+        help="live-updating text perf dashboard over a streaming run",
+    )
+    p.add_argument(
+        "--workload", choices=("sensors", "clicks"), default="sensors"
+    )
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--max-backlog", type=int, default=50_000)
+    p.add_argument(
+        "--refresh",
+        type=float,
+        default=15.0,
+        help="virtual seconds between dashboard frames",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single final snapshot instead of live frames",
+    )
+    p.add_argument("--top", type=int, default=10, help="hot stages shown")
+
+    p = sub.add_parser(
         "sweep",
         help="run the scenario suite sharded over a process pool, "
         "with result caching",
@@ -394,13 +543,15 @@ _COMMANDS = {
     "stream": cmd_stream,
     "chaos": cmd_chaos,
     "overload": cmd_overload,
+    "perf": cmd_perf,
+    "dashboard": cmd_dashboard,
     "sweep": cmd_sweep,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    for path in (args.trace, args.metrics):
+    for path in (args.trace, args.metrics, args.flight_record):
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"error: directory does not exist: {path}", file=sys.stderr)
             return 2
@@ -409,7 +560,9 @@ def main(argv: list[str] | None = None) -> int:
     if obs is not None and obs.enabled:
         try:
             written = obs.export(
-                trace_path=args.trace, metrics_path=args.metrics
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                flight_path=args.flight_record,
             )
         except OSError as exc:
             print(f"error: could not write observability output: {exc}",
@@ -419,6 +572,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"trace: {written['spans']} spans -> {args.trace}")
         if args.metrics:
             print(f"metrics: {written['series']} series -> {args.metrics}")
+        if args.flight_record:
+            print(
+                f"flight: {written['flight']} events -> {args.flight_record}"
+            )
+        elif rc != 0 and len(obs.recorder):
+            # A failing run dumps its black box automatically: the last
+            # ring of events is exactly what the post-mortem needs.
+            path = f"flight-{args.command}.jsonl"
+            count = obs.recorder.dump(path)
+            print(
+                f"flight: command failed (rc {rc}); "
+                f"dumped last {count} events -> {path}",
+                file=sys.stderr,
+            )
     return rc
 
 

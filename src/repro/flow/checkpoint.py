@@ -82,6 +82,7 @@ class Checkpointer:
         self._obs_on = obs.enabled
         self._m_total = obs.counter("flow_checkpoints_total")
         self._m_skipped = obs.counter("flow_checkpoints_skipped_total")
+        self._st_ckpt = obs.stage("flow.checkpoint")
 
     def register(self, name: str, snapshot_fn: Callable[[], dict | None]):
         """Add a snapshot target (idempotent per name: last wins)."""
@@ -106,20 +107,21 @@ class Checkpointer:
         now = self.engine.sim.now
         self.rounds += 1
         obs = self.engine.observer
-        for name, fn in self._targets:
-            age = self.store.age(name, now)
-            payload = fn()
-            if payload is None:
+        with self._st_ckpt:
+            for name, fn in self._targets:
+                age = self.store.age(name, now)
+                payload = fn()
+                if payload is None:
+                    if self._obs_on:
+                        self._m_skipped.inc()
+                    continue
+                size = self.store.save(name, payload, now)
                 if self._obs_on:
-                    self._m_skipped.inc()
-                continue
-            size = self.store.save(name, payload, now)
-            if self._obs_on:
-                self._m_total.inc()
-                obs.gauge("flow_checkpoint_bytes", target=name).set(size)
-                if math.isfinite(age):
-                    # Age of the snapshot being *replaced*: the exposure
-                    # window a crash at this instant would have lost.
-                    obs.gauge(
-                        "flow_checkpoint_age_seconds", target=name
-                    ).set(age)
+                    self._m_total.inc()
+                    obs.gauge("flow_checkpoint_bytes", target=name).set(size)
+                    if math.isfinite(age):
+                        # Age of the snapshot being *replaced*: the exposure
+                        # window a crash at this instant would have lost.
+                        obs.gauge(
+                            "flow_checkpoint_age_seconds", target=name
+                        ).set(age)

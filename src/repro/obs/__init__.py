@@ -1,9 +1,10 @@
-"""Unified observability: metrics + virtual-time tracing + exporters.
+"""Unified observability: metrics + tracing + profiling + flight record.
 
 The paper's monitoring service drives *decisions*; this layer is the
 introspection companion — it records what the engine, the streaming
 runtime, and the monitor actually did, in a form that can be exported
-(JSONL trace, Prometheus text) and folded into reports.
+(JSONL trace, Prometheus text, flight-recorder dump), profiled (per-stage
+wall-clock attribution + throughput meters), and folded into reports.
 
 Usage::
 
@@ -11,9 +12,13 @@ Usage::
     engine = fresh_engine(seed=1, observer=obs)
     ... run ...
     obs.export(trace_path="run.jsonl", metrics_path="run.prom")
+    print(render_dashboard(obs))          # hottest stages + throughput
+    obs.recorder.dump("flight.jsonl")     # last N events, post-mortem
 
 Every instrumented component takes its handles from the observer at
-construction time. When no observer is supplied the shared
+construction time — metric handles (:meth:`Observer.counter`, ...),
+stage timers (:meth:`Observer.stage`), throughput meters
+(:meth:`Observer.meter`). When no observer is supplied the shared
 :data:`NULL_OBSERVER` is used and every handle is a no-op singleton, so
 the disabled hot path performs one boolean check and allocates nothing.
 """
@@ -34,6 +39,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.profile import (
+    NULL_METER,
+    NULL_PROFILER,
+    NULL_STAGE_TIMER,
+    Meter,
+    NullMeter,
+    NullStageProfiler,
+    NullStageTimer,
+    StageProfiler,
+    StageTimer,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    read_flight_jsonl,
+)
 from repro.obs.tracing import (
     NULL_SPAN,
     NULL_TRACER,
@@ -45,17 +67,29 @@ from repro.obs.tracing import (
 
 
 class Observer:
-    """Facade bundling one metrics registry and one tracer."""
+    """Facade bundling a metrics registry, tracer, profiler, recorder."""
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        flight_capacity: int | None = None,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(clock)
+        self.profiler = StageProfiler(clock)
+        self.recorder = (
+            FlightRecorder(clock=clock)
+            if flight_capacity is None
+            else FlightRecorder(flight_capacity, clock=clock)
+        )
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        """Point span timestamps at a clock (normally ``sim.now``)."""
+        """Point span/flight timestamps at a clock (normally ``sim.now``)."""
         self.tracer.bind_clock(clock)
+        self.profiler.bind_clock(clock)
+        self.recorder.bind_clock(clock)
 
     # Metric handles ---------------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -67,6 +101,15 @@ class Observer:
     def histogram(self, name: str, **labels: Any) -> Histogram:
         return self.registry.histogram(name, **labels)
 
+    # Profiling handles ------------------------------------------------
+    def stage(self, name: str) -> StageTimer:
+        """The (cached) wall-clock stage timer for ``name``."""
+        return self.profiler.timer(name)
+
+    def meter(self, name: str) -> Meter:
+        """The (cached) throughput meter for ``name``."""
+        return self.profiler.meter(name)
+
     # Spans ------------------------------------------------------------
     def span(self, name: str, **attrs: Any) -> Span:
         return self.tracer.span(name, **attrs)
@@ -75,23 +118,30 @@ class Observer:
         return self.tracer.start_span(name, parent=parent, **attrs)
 
     def record_span(self, name, start, end, **attrs: Any) -> Span:
-        return self.tracer.record_span(name, start, end, **attrs)
+        span = self.tracer.record_span(name, start, end, **attrs)
+        # Retro-recorded spans are milestones (window closes, emissions):
+        # exactly what a post-mortem flight dump should contain.
+        self.recorder.record("span", name=name, start=start, end=end, **attrs)
+        return span
 
     # Export -----------------------------------------------------------
     def export(
         self,
         trace_path: str | None = None,
         metrics_path: str | None = None,
+        flight_path: str | None = None,
     ) -> dict[str, int]:
-        """Write requested dumps; returns ``{"spans": n, "series": m}``."""
+        """Write requested dumps; returns counts per artifact kind."""
         from repro.obs.exporters import export_prometheus, export_trace_jsonl
 
-        written = {"spans": 0, "series": 0}
+        written = {"spans": 0, "series": 0, "flight": 0}
         if trace_path:
             written["spans"] = export_trace_jsonl(self.tracer, trace_path)
         if metrics_path:
             export_prometheus(self.registry, metrics_path)
             written["series"] = len(self.registry.snapshot())
+        if flight_path:
+            written["flight"] = self.recorder.dump(flight_path)
         return written
 
     def summary(self) -> str:
@@ -110,6 +160,8 @@ class NullObserver:
     enabled = False
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
+    profiler = NULL_PROFILER
+    recorder = NULL_RECORDER
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         pass
@@ -123,6 +175,12 @@ class NullObserver:
     def histogram(self, name: str, **labels: Any):
         return NULL_HISTOGRAM
 
+    def stage(self, name: str) -> NullStageTimer:
+        return NULL_STAGE_TIMER
+
+    def meter(self, name: str) -> NullMeter:
+        return NULL_METER
+
     def span(self, name: str, **attrs: Any) -> NullSpan:
         return NULL_SPAN
 
@@ -132,8 +190,10 @@ class NullObserver:
     def record_span(self, name, start, end, **attrs: Any) -> NullSpan:
         return NULL_SPAN
 
-    def export(self, trace_path=None, metrics_path=None) -> dict[str, int]:
-        return {"spans": 0, "series": 0}
+    def export(
+        self, trace_path=None, metrics_path=None, flight_path=None
+    ) -> dict[str, int]:
+        return {"spans": 0, "series": 0, "flight": 0}
 
     def summary(self) -> str:
         return "(observability disabled)"
@@ -155,10 +215,23 @@ __all__ = [
     "NullTracer",
     "Span",
     "NullSpan",
+    "StageProfiler",
+    "NullStageProfiler",
+    "StageTimer",
+    "NullStageTimer",
+    "Meter",
+    "NullMeter",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "read_flight_jsonl",
     "NULL_SPAN",
     "NULL_TRACER",
     "NULL_REGISTRY",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_PROFILER",
+    "NULL_STAGE_TIMER",
+    "NULL_METER",
+    "NULL_RECORDER",
 ]

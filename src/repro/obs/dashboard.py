@@ -1,0 +1,119 @@
+"""Text perf dashboard rendered from a live observer.
+
+One snapshot API feeds everything: the :class:`~repro.obs.profile.StageProfiler`
+supplies hottest stages and throughput meters, the metrics registry
+supplies backlog/credit gauges and breaker states. ``sage perf`` prints
+the final frame of a profiled scenario; ``sage dashboard`` re-renders
+frames while a streaming run advances (and ``--once`` prints a single
+snapshot) — both call :func:`render_dashboard`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+
+#: Gauge families surfaced in the "gauges" panel, in display order.
+GAUGE_PANEL_PREFIXES = (
+    "stream_backlog_depth",
+    "stream_backlog_peak",
+    "stream_watermark_lag_seconds",
+    "flow_ingest_credits",
+    "flow_credits_available",
+    "runner_shards_inflight",
+    "sim_virtual_time_seconds",
+)
+
+_BREAKER_STATES = {0.0: "closed", 1.0: "half-open", 2.0: "open"}
+
+
+def _bar(share: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, share)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_count(value: float) -> str:
+    if value >= 10_000_000:
+        return f"{value / 1e6:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:g}"
+
+
+def hottest_stages(observer, top: int = 10) -> str:
+    """Top-``top`` stages by exclusive wall time, with share bars."""
+    snap = observer.profiler.snapshot()
+    rows = [
+        [name, s["calls"], f"{s['seconds']:.4f}",
+         f"{100.0 * s['share']:5.1f}%", _bar(s["share"])]
+        for name, s in list(snap["stages"].items())[:top]
+    ]
+    if not rows:
+        return "Hot stages\n(no stages profiled)"
+    return render_table(
+        ["stage", "calls", "self (s)", "share", ""],
+        rows,
+        title="Hot stages (exclusive wall time)",
+    )
+
+
+def throughput_panel(observer) -> str:
+    """Meter counts and rates over the profiled window."""
+    snap = observer.profiler.snapshot()
+    rows = [
+        [name, _fmt_count(m["count"]), f"{m['per_wall_s']:,.0f}",
+         f"{m['per_virtual_s']:,.0f}"]
+        for name, m in snap["meters"].items()
+    ]
+    if not rows:
+        return "Throughput\n(no meters recorded)"
+    return render_table(
+        ["meter", "count", "/s wall", "/s virtual"],
+        rows,
+        title="Throughput",
+    )
+
+
+def gauges_panel(observer) -> str:
+    """Backlog/credit gauges and breaker states from the registry."""
+    snapshot = observer.registry.snapshot()
+    rows: list[list[object]] = []
+    for prefix in GAUGE_PANEL_PREFIXES:
+        for key in sorted(snapshot):
+            snap = snapshot[key]
+            if snap.kind == "gauge" and snap.name == prefix:
+                last = "" if math.isnan(snap.value) else f"{snap.value:g}"
+                hi = "" if math.isnan(snap.max) else f"{snap.max:g}"
+                rows.append([key, last, hi])
+    for key in sorted(snapshot):
+        snap = snapshot[key]
+        if snap.name == "flow_breaker_state" and not math.isnan(snap.value):
+            state = _BREAKER_STATES.get(snap.value, f"?{snap.value:g}")
+            rows.append([key, state, ""])
+    if not rows:
+        return "Gauges\n(no gauges recorded)"
+    return render_table(["gauge", "value", "peak"], rows, title="Gauges")
+
+
+def render_dashboard(observer, top: int = 10, title: str = "SAGE perf") -> str:
+    """The full dashboard: header + throughput + hot stages + gauges."""
+    if not observer.enabled:
+        return f"{title}\n(observability disabled — nothing to show)"
+    snap = observer.profiler.snapshot()
+    wall = snap["wall_seconds"]
+    virt = snap["virtual_seconds"]
+    speedup = virt / wall if wall > 0 else 0.0
+    header = (
+        f"{title} — wall {wall:.2f}s, virtual {virt:.0f}s "
+        f"({speedup:,.0f}x real time), "
+        f"attribution coverage {100.0 * snap['coverage']:.0f}%"
+    )
+    return "\n\n".join(
+        [
+            header,
+            throughput_panel(observer),
+            hottest_stages(observer, top=top),
+            gauges_panel(observer),
+        ]
+    )

@@ -53,11 +53,27 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Inside a quoted label value, backslash, double-quote, and newline
+    must appear as ``\\\\``, ``\\"``, and ``\\n`` — in that order of
+    replacement, so an already-present backslash is never re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _labels_text(pairs, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = [*pairs, *extra]
     if not items:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+        + "}"
+    )
 
 
 def prometheus_text(registry) -> str:

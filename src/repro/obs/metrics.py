@@ -147,6 +147,21 @@ class Histogram:
         return len(self.values)
 
     def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the recorded samples.
+
+        Documented edge cases (tested in ``tests/test_obs_metrics.py``):
+
+        * ``q`` outside ``[0, 100]`` raises :class:`ValueError` — an
+          out-of-range quantile is always a caller bug, never data;
+        * no samples → ``nan`` (the "no data" sentinel, consistent with
+          the empty :class:`MetricSnapshot`);
+        * one sample → that sample, for every ``q`` — a degenerate
+          distribution has only one value to report;
+        * between samples, values interpolate linearly (numpy's default),
+          so ``q`` exactly on a sample boundary returns that sample.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
         if not self.values:
             return math.nan
         return float(np.percentile(self.values, q))
@@ -241,6 +256,12 @@ class NullCounter:
     def inc(self, amount: float = 1.0) -> None:
         pass
 
+    def merge_from(self, other) -> None:
+        pass
+
+    def snapshot(self) -> MetricSnapshot:
+        return MetricSnapshot(self.kind, self.name, self.labels)
+
 
 class NullGauge:
     __slots__ = ()
@@ -248,9 +269,18 @@ class NullGauge:
     name = ""
     labels: LabelPairs = ()
     value = math.nan
+    updates = 0
+    low = math.inf
+    high = -math.inf
 
     def set(self, value: float) -> None:
         pass
+
+    def merge_from(self, other) -> None:
+        pass
+
+    def snapshot(self) -> MetricSnapshot:
+        return MetricSnapshot(self.kind, self.name, self.labels)
 
 
 class NullHistogram:
@@ -259,12 +289,21 @@ class NullHistogram:
     name = ""
     labels: LabelPairs = ()
     count = 0
+    #: Never appended to: ``observe`` is a no-op, so sharing one list
+    #: across all disabled handles is safe.
+    values: list[float] = []
 
     def observe(self, value: float) -> None:
         pass
 
+    def merge_from(self, other) -> None:
+        pass
+
     def percentile(self, q: float) -> float:
         return math.nan
+
+    def snapshot(self) -> MetricSnapshot:
+        return MetricSnapshot(self.kind, self.name, self.labels)
 
 
 NULL_COUNTER = NullCounter()
@@ -294,6 +333,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict[str, MetricSnapshot]:
         return {}
+
+    def merge(self, other) -> None:
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,273 @@
+"""Hot-path stage profiling: wall-clock attribution + throughput meters.
+
+The ROADMAP's million-source rewrite needs to know *where* wall time
+goes before anything is rewritten — per stage (event dispatch, operator
+apply, window close, batching, shipping, checkpoint), not just in total.
+:class:`StageProfiler` provides that with the same handle-based contract
+as :mod:`repro.obs.metrics`: a component asks the observer for a
+:class:`StageTimer` once, at construction, and drives it from the hot
+path; when observability is disabled the handle is the shared
+:data:`NULL_STAGE_TIMER` and the hot path pays one no-op ``with``.
+
+Attribution is **exclusive** (self-time): entering a nested stage pauses
+the enclosing one, so the per-stage seconds are disjoint and sum to the
+wall time spent inside the outermost stage. The simulator wraps its
+event loop in ``sim.loop`` and each callback in ``sim.dispatch``; every
+instrumented block inside a callback subtracts itself out, leaving
+``sim.dispatch`` holding exactly the *un*-instrumented remainder. The
+share a stage reports is therefore "fraction of accounted wall time this
+stage spent on CPU", and coverage ("accounted / measured wall") tells
+you how much of a run the attribution explains.
+
+The profiler is virtual-time-aware: the bound clock (normally
+``sim.now``) is read when the outermost stage opens and closes, so a
+snapshot can report records/sec against wall *and* virtual seconds —
+the simulator speedup falls out for free.
+
+Throughput meters (:class:`Meter`) are monotone counts (records, events,
+batches, bytes) whose rates are computed at snapshot time against the
+profiled wall/virtual window — no per-sample timestamps on the hot path.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable
+
+
+class StageStat:
+    """Accumulated exclusive time and call count of one stage."""
+
+    __slots__ = ("name", "seconds", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+
+
+class StageTimer:
+    """Reusable context manager attributing exclusive time to a stage.
+
+    Handles are cached per stage name by the profiler; one timer may be
+    entered recursively (the inner entry simply keeps attributing to the
+    same stage).
+    """
+
+    __slots__ = ("_profiler", "_stat")
+
+    def __init__(self, profiler: "StageProfiler", stat: StageStat) -> None:
+        self._profiler = profiler
+        self._stat = stat
+
+    def __enter__(self) -> "StageTimer":
+        prof = self._profiler
+        t = perf_counter()
+        stack = prof._stack
+        if stack:
+            top = stack[-1]
+            top[0].seconds += t - top[1]
+        else:
+            prof._outer_t0 = t
+            prof._outer_v0 = prof._clock()
+        stack.append([self._stat, t])
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        prof = self._profiler
+        t = perf_counter()
+        stat, mark = prof._stack.pop()
+        stat.seconds += t - mark
+        stat.calls += 1
+        if prof._stack:
+            prof._stack[-1][1] = t
+        else:
+            prof.wall_seconds += t - prof._outer_t0
+            prof.virtual_seconds += max(0.0, prof._clock() - prof._outer_v0)
+
+
+class Meter:
+    """Monotone throughput count; rates are derived at snapshot time."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0.0
+
+    def mark(self, amount: float = 1.0) -> None:
+        self.count += amount
+
+
+class StageProfiler:
+    """Creates stage timers and meters; snapshots shares and rates."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._stats: dict[str, StageStat] = {}
+        self._timers: dict[str, StageTimer] = {}
+        self._meters: dict[str, Meter] = {}
+        #: [stat, mark] per open stage; mark is the perf_counter reading
+        #: the stage last resumed at (entry, or a nested stage's exit).
+        self._stack: list[list] = []
+        self._outer_t0 = 0.0
+        self._outer_v0 = 0.0
+        #: Wall seconds spent inside outermost stages (the profiled window).
+        self.wall_seconds = 0.0
+        #: Virtual seconds the profiled window advanced the bound clock.
+        self.virtual_seconds = 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the virtual-time window at a clock (normally ``sim.now``)."""
+        self._clock = clock
+
+    def timer(self, name: str) -> StageTimer:
+        """The (cached) stage timer handle for ``name``."""
+        timer = self._timers.get(name)
+        if timer is None:
+            stat = self._stats.setdefault(name, StageStat(name))
+            timer = self._timers[name] = StageTimer(self, stat)
+        return timer
+
+    def meter(self, name: str) -> Meter:
+        """The (cached) throughput meter handle for ``name``."""
+        meter = self._meters.get(name)
+        if meter is None:
+            meter = self._meters[name] = Meter(name)
+        return meter
+
+    def stages(self) -> dict[str, StageStat]:
+        return dict(self._stats)
+
+    def meters(self) -> dict[str, Meter]:
+        return dict(self._meters)
+
+    def accounted_seconds(self) -> float:
+        """Total exclusive seconds attributed across all stages."""
+        return sum(s.seconds for s in self._stats.values())
+
+    def snapshot(self, wall_seconds: float | None = None) -> dict[str, Any]:
+        """Shares, coverage, and meter rates over the profiled window.
+
+        ``wall_seconds`` is the externally measured wall time to compute
+        coverage against; it defaults to the profiler's own window (in
+        which case coverage is the fraction of *profiled* time that is
+        attributed — ~1.0 by construction). Shares are normalised over
+        the attributed seconds, so they sum to 1.0 whenever any stage
+        ran at all.
+        """
+        accounted = self.accounted_seconds()
+        wall = self.wall_seconds if wall_seconds is None else wall_seconds
+        stages = {
+            name: {
+                "seconds": stat.seconds,
+                "calls": stat.calls,
+                "share": stat.seconds / accounted if accounted > 0 else 0.0,
+            }
+            for name, stat in sorted(
+                self._stats.items(), key=lambda kv: -kv[1].seconds
+            )
+        }
+        meters = {
+            name: {
+                "count": m.count,
+                "per_wall_s": m.count / wall if wall > 0 else 0.0,
+                "per_virtual_s": (
+                    m.count / self.virtual_seconds
+                    if self.virtual_seconds > 0
+                    else 0.0
+                ),
+            }
+            for name, m in sorted(self._meters.items())
+        }
+        return {
+            "wall_seconds": wall,
+            "profiled_seconds": self.wall_seconds,
+            "virtual_seconds": self.virtual_seconds,
+            "accounted_seconds": accounted,
+            "coverage": accounted / wall if wall > 0 else 0.0,
+            "stages": stages,
+            "meters": meters,
+        }
+
+    def reset(self) -> None:
+        """Zero all accumulated stats (handles stay valid)."""
+        for stat in self._stats.values():
+            stat.seconds = 0.0
+            stat.calls = 0
+        for meter in self._meters.values():
+            meter.count = 0.0
+        self.wall_seconds = 0.0
+        self.virtual_seconds = 0.0
+
+
+# ----------------------------------------------------------------------
+# Disabled path: shared, stateless no-op handles.
+# ----------------------------------------------------------------------
+class NullStageTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "NullStageTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+class NullMeter:
+    __slots__ = ()
+    name = ""
+    count = 0.0
+
+    def mark(self, amount: float = 1.0) -> None:
+        pass
+
+
+NULL_STAGE_TIMER = NullStageTimer()
+NULL_METER = NullMeter()
+
+
+class NullStageProfiler:
+    """Profiler façade that hands out the shared no-op handles."""
+
+    __slots__ = ()
+    enabled = False
+    wall_seconds = 0.0
+    virtual_seconds = 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def timer(self, name: str) -> NullStageTimer:
+        return NULL_STAGE_TIMER
+
+    def meter(self, name: str) -> NullMeter:
+        return NULL_METER
+
+    def stages(self) -> dict[str, StageStat]:
+        return {}
+
+    def meters(self) -> dict[str, Meter]:
+        return {}
+
+    def accounted_seconds(self) -> float:
+        return 0.0
+
+    def snapshot(self, wall_seconds: float | None = None) -> dict[str, Any]:
+        return {
+            "wall_seconds": wall_seconds or 0.0,
+            "profiled_seconds": 0.0,
+            "virtual_seconds": 0.0,
+            "accounted_seconds": 0.0,
+            "coverage": 0.0,
+            "stages": {},
+            "meters": {},
+        }
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_PROFILER = NullStageProfiler()

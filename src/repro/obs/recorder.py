@@ -1,0 +1,122 @@
+"""Flight recorder: a bounded ring of recent events, spans, and faults.
+
+When a chaos or overload run diverges, the question is always "what were
+the last things that happened?" — and the full trace is either disabled
+or too big. The :class:`FlightRecorder` answers it the way an aircraft
+recorder does: a fixed-capacity ring buffer that every instrumented
+layer appends to (simulator event dispatch, fault-bus messages,
+retro-recorded spans, scenario milestones), cheap enough to leave on
+whenever an observer is attached, dumped to JSONL on failure or on
+demand (``sage … --flight-record PATH``).
+
+Entries are plain dicts ``{"t": <virtual time>, "kind": ..., **fields}``
+appended in occurrence order; once ``capacity`` is reached the oldest
+entries are evicted — the dump is always the *last* ``capacity``
+happenings, which is exactly the window a post-mortem needs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable
+
+#: Default ring capacity. Large enough that a failed scenario's dump
+#: reproduces well over the last thousand events; small enough that the
+#: resident ring stays a few MB even with verbose attributes.
+DEFAULT_CAPACITY = 8192
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of recent happenings, dumpable as JSONL."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._clock = clock or (lambda: 0.0)
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: Total entries ever recorded (≥ len(ring); eviction never
+        #: decrements it, so ``recorded - len`` is the evicted count).
+        self.recorded = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Timestamp entries from a clock (normally ``sim.now``)."""
+        self._clock = clock
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one entry stamped with the current (virtual) time."""
+        entry = {"t": self._clock(), "kind": kind}
+        entry.update(fields)
+        self._ring.append(entry)
+        self.recorded += 1
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The retained entries, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(self, path: str) -> int:
+        """Write the retained ring as JSONL; returns the entry count.
+
+        Non-JSON-serialisable attribute values are stringified rather
+        than dropped — a post-mortem dump must never fail because some
+        payload object lacked an encoder.
+        """
+        entries = self.events
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry, sort_keys=True, default=str))
+                fh.write("\n")
+        return len(entries)
+
+
+def read_flight_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a flight dump back into entry dicts (skips blank lines)."""
+    out: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+class NullFlightRecorder:
+    """Disabled flight recorder: records nothing, dumps nothing."""
+
+    __slots__ = ()
+    enabled = False
+    capacity = 0
+    recorded = 0
+    events: list[dict[str, Any]] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def record(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def dump(self, path: str) -> int:
+        return 0
+
+
+NULL_RECORDER = NullFlightRecorder()

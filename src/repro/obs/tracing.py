@@ -169,6 +169,16 @@ class NullSpan:
     def finish(self, **attrs: Any) -> "NullSpan":
         return self
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": 0,
+            "parent_id": None,
+            "name": "",
+            "start": 0.0,
+            "end": 0.0,
+            "attrs": {},
+        }
+
     def __enter__(self) -> "NullSpan":
         return self
 

@@ -56,7 +56,7 @@ def metrics_snapshot(observer) -> dict[str, float]:
     if observer is None or not getattr(observer, "enabled", False):
         return {}
     out: dict[str, float] = {}
-    for snap in observer.registry.snapshot():
+    for snap in observer.registry.snapshot().values():
         if snap.kind not in ("counter", "gauge"):
             continue
         labels = ",".join(f"{k}={v}" for k, v in snap.labels)

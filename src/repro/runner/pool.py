@@ -118,6 +118,7 @@ class SweepRunner:
                 cached=False,
                 wall_seconds=outcome["wall_seconds"],
                 result=result,
+                perf=outcome.get("perf"),
             )
 
         return SweepReport(

@@ -34,6 +34,9 @@ class ShardResult:
     #: Canonical result dict (``None`` iff the shard failed).
     result: dict | None = None
     error: str | None = None
+    #: Shard perf bookkeeping (virtual seconds, sim speedup) — host-
+    #: dependent, therefore excluded from :meth:`canonical_dict`.
+    perf: dict | None = None
 
     def canonical_dict(self) -> dict:
         """The deterministic projection of this shard."""
@@ -100,6 +103,7 @@ class SweepReport:
                             "cached": shard.cached,
                             "wall_seconds": round(shard.wall_seconds, 6),
                             "error": shard.error,
+                            "perf": shard.perf,
                             "result": shard.result,
                         },
                         sort_keys=True,
@@ -127,6 +131,8 @@ class SweepReport:
         return path
 
     def describe(self) -> str:
+        from repro.analysis.tables import render_table
+
         lines = [
             f"sweep: {len(self.shards)} shards, jobs={self.jobs}, "
             f"root seed {self.root_seed}",
@@ -136,13 +142,26 @@ class SweepReport:
             f"wall: {self.wall_seconds:.2f}s",
             f"digest: {self.digest()}",
         ]
+        rows: list[list[object]] = []
         for s in self.shards:
-            status = "cached" if s.cached else ("ok" if s.ok else "FAILED")
-            lines.append(
-                f"  {s.name:<28} {s.scenario:<10} seed={s.seed:<20d} "
-                f"{status:>7}  {s.wall_seconds:7.2f}s"
-                + (f"  {s.error}" if s.error else "")
+            status = "ok" if s.ok else "FAILED"
+            speedup = (s.perf or {}).get("sim_speedup", 0.0)
+            rows.append([
+                s.name,
+                s.scenario,
+                s.seed,
+                "yes" if s.cached else "no",
+                f"{s.wall_seconds:.2f}",
+                f"{speedup:,.0f}x" if speedup else "",
+                status + (f"  {s.error}" if s.error else ""),
+            ])
+        lines.append(
+            render_table(
+                ["shard", "scenario", "seed", "cached", "wall (s)",
+                 "speedup", "status"],
+                rows,
             )
+        )
         if not self.ok:
             lines.append(f"FAILURES: {len(self.failures)}")
         return "\n".join(lines)

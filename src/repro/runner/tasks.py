@@ -123,8 +123,17 @@ def execute_task(payload: dict) -> dict:
         config_cls, run_fn = _REGISTRY[scenario]
         cfg = config_cls.from_dict({**config, "seed": seed})
         report = run_fn(cfg)
+    wall = time.perf_counter() - wall0
+    perf = None
     if isinstance(report, ScenarioReport):
         result = report.canonical_dict()
+        # Shard-level perf — bookkeeping, never canonical: wall time and
+        # speedup vary per host, so they ride next to the result, not in
+        # it (cache keys and digests are unaffected).
+        perf = {
+            "virtual_seconds": report.virtual_seconds,
+            "sim_speedup": report.virtual_seconds / wall if wall > 0 else 0.0,
+        }
     elif isinstance(report, dict):
         result = report
     else:
@@ -135,5 +144,6 @@ def execute_task(payload: dict) -> dict:
     return {
         "name": payload["name"],
         "result": result,
-        "wall_seconds": time.perf_counter() - wall0,
+        "wall_seconds": wall,
+        "perf": perf,
     }

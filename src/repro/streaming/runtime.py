@@ -182,6 +182,20 @@ class SiteRuntime:
         self._m_blocked = obs.counter("flow_blocked_ticks_total", site=site)
         self._m_degraded = obs.counter("flow_degraded_ticks_total", site=site)
         self._m_degrade_active = obs.gauge("flow_degrade_active", site=site)
+        #: Stage timers fire at tick granularity (cheap even as no-ops);
+        #: per-operator timers are per record, so they only exist when
+        #: observability is on — ``None`` keeps the disabled ``_process``
+        #: at its uninstrumented cost.
+        self._st_drain = obs.stage("site.drain")
+        self._st_window = obs.stage("site.window")
+        self._st_batch = obs.stage("site.batch")
+        self._st_ship = obs.stage("ship.send")
+        self._mt_records = obs.meter("records")
+        self._op_stages = (
+            [(op, obs.stage(f"op.{type(op).__name__}")) for op in spec.operators]
+            if self._obs_on and spec.operators
+            else None
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -265,10 +279,11 @@ class SiteRuntime:
         if self.policy is not None:
             budget = self.policy.drain_budget(self, budget)
         processed = 0
-        while self._backlog and processed < budget:
-            record = self._backlog.popleft()
-            processed += 1
-            self._process(record, now)
+        with self._st_drain:
+            while self._backlog and processed < budget:
+                record = self._backlog.popleft()
+                processed += 1
+                self._process(record, now)
         self.records_processed += processed
         if processed:
             # Freed ingest slots return to the credit pool (no-op for
@@ -289,8 +304,10 @@ class SiteRuntime:
                 watermark = min(watermark, oldest)
         watermark = max(watermark, self._watermark)
         self._watermark = watermark
-        partials = self.aggregator.advance_watermark(watermark)
+        with self._st_window:
+            partials = self.aggregator.advance_watermark(watermark)
         if self._obs_on:
+            self._mt_records.mark(processed)
             self._m_processed.inc(processed)
             self._m_backlog.set(len(self._backlog))
             self._m_wm_lag.set(now - watermark)
@@ -309,22 +326,33 @@ class SiteRuntime:
                     window_end=pa.window.end,
                     records=pa.count,
                 )
-        for partial in partials:
-            self._emit(partial, now)
-        if self.policy is None or self.policy.flush_allowed(self):
-            out = self.batcher.maybe_flush(now)
-            if out is not None:
-                self._ship(out)
+        with self._st_batch:
+            for partial in partials:
+                self._emit(partial, now)
+            if self.policy is None or self.policy.flush_allowed(self):
+                out = self.batcher.maybe_flush(now)
+                if out is not None:
+                    self._ship(out)
 
     def _process(self, record: Record, now: float) -> None:
         pending = [record]
-        for op in self.spec.operators:
-            nxt: list[Record] = []
-            for r in pending:
-                nxt.extend(op.process(r))
-            pending = nxt
-            if not pending:
-                return
+        if self._op_stages is None:
+            for op in self.spec.operators:
+                nxt: list[Record] = []
+                for r in pending:
+                    nxt.extend(op.process(r))
+                pending = nxt
+                if not pending:
+                    return
+        else:
+            for op, stage in self._op_stages:
+                with stage:
+                    nxt = []
+                    for r in pending:
+                        nxt.extend(op.process(r))
+                pending = nxt
+                if not pending:
+                    return
         for r in pending:
             if self.job.ship_raw_records:
                 self._emit(r, now)
@@ -339,7 +367,8 @@ class SiteRuntime:
     def _ship(self, batch: Batch) -> None:
         if self.retain_batches:
             self._retained[batch.seq] = batch
-        self.shipping.ship(batch, self.deliver)
+        with self._st_ship:
+            self.shipping.ship(batch, self.deliver)
 
     @property
     def backlog(self) -> int:
@@ -453,8 +482,13 @@ class GlobalAggregator:
         self._m_late = obs.counter("stream_late_partials_total")
         self._m_latency = obs.histogram("stream_window_latency_seconds")
         self._m_dups = obs.counter("agg_duplicates_dropped_total")
+        self._st_merge = obs.stage("agg.merge")
 
     def deliver(self, batch: Batch) -> None:
+        with self._st_merge:
+            self._deliver(batch)
+
+    def _deliver(self, batch: Batch) -> None:
         now = self.engine.sim.now
         if batch.origin:
             key = (batch.origin, batch.seq)

@@ -78,7 +78,8 @@ class _ShipInstruments:
     wide-area delivery latency and ``bps`` the achieved link throughput.
     """
 
-    __slots__ = ("_obs", "_on", "_backend", "_link", "_m_bytes", "_m_batches")
+    __slots__ = ("_obs", "_on", "_backend", "_link", "_m_bytes", "_m_batches",
+                 "_mt_batches", "_mt_bytes")
 
     def __init__(self, engine: SageEngine, backend: str, src: str, dst: str):
         obs = engine.observer
@@ -92,6 +93,10 @@ class _ShipInstruments:
         self._m_batches = obs.counter(
             "ship_batches_total", backend=backend, link=self._link
         )
+        #: Global throughput meters (unlabelled: the dashboard reports
+        #: whole-run batches/sec and bytes/sec across links).
+        self._mt_batches = obs.meter("batches")
+        self._mt_bytes = obs.meter("bytes")
 
     def wrap(
         self, batch: Batch, on_delivered: DeliveryCallback
@@ -101,6 +106,8 @@ class _ShipInstruments:
             return on_delivered
         self._m_bytes.inc(batch.size_bytes)
         self._m_batches.inc()
+        self._mt_batches.mark()
+        self._mt_bytes.mark(batch.size_bytes)
         span = self._obs.start_span(
             "ship.batch",
             backend=self._backend,

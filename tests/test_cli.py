@@ -186,3 +186,106 @@ def test_cmd_introspect_with_metrics_folds_registry(tmp_path, capsys):
     assert "Introspection-as-a-Service" in out
     assert "Run metrics" in out
     assert "monitor_samples_total" in prom.read_text()
+
+
+def test_cmd_sweep_table_has_per_shard_wall_and_cache_columns(
+    tmp_path, capsys
+):
+    args = [
+        "sweep", "--duration", "60", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    for column in ("shard", "cached", "wall (s)", "speedup", "status"):
+        assert column in cold
+    cold_rows = [li for li in cold.splitlines() if "chaos-inject" in li]
+    assert len(cold_rows) == 1
+    cells = [c.strip() for c in cold_rows[0].split("|")]
+    # shard | scenario | seed | cached | wall (s) | speedup | status
+    assert cells[1] == "chaos"
+    assert cells[3] == "no"  # cold run: simulated, not served from cache
+    assert float(cells[4]) > 0.0  # per-shard wall time is real
+    assert cells[5].endswith("x")  # sim speedup from the shard's perf
+    assert cells[6] == "ok"
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    warm_rows = [li for li in warm.splitlines() if "chaos-inject" in li]
+    cells = [c.strip() for c in warm_rows[0].split("|")]
+    assert cells[3] == "yes"  # served from the cache this time
+
+
+# ----------------------------------------------------------------------
+# Profiling / flight recorder
+# ----------------------------------------------------------------------
+def test_cmd_perf_renders_dashboard_and_writes_bench(tmp_path, capsys):
+    import json
+
+    assert (
+        main(
+            FAST
+            + ["perf", "stream", "--duration", "60",
+               "--bench-dir", str(tmp_path)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Hot stages (exclusive wall time)" in out
+    assert "sim.dispatch" in out
+    assert "Throughput" in out
+    assert "attribution coverage" in out
+    bench = json.loads((tmp_path / "BENCH_perf_stream.json").read_text())
+    assert bench["records_per_s"] > 0
+    assert sum(bench["stage_shares"].values()) == pytest.approx(
+        1.0, abs=1e-3
+    )
+
+
+def test_cmd_dashboard_once_prints_single_frame(capsys):
+    assert (
+        main(FAST + ["dashboard", "--duration", "60", "--once"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("SAGE dashboard") == 1
+    assert "Hot stages" in out
+
+
+def test_cmd_chaos_flight_record_dumps_recent_events(tmp_path, capsys):
+    from repro.obs import read_flight_jsonl
+
+    flight = tmp_path / "chaos.jsonl"
+    assert (
+        main(["--seed", "5", "--flight-record", str(flight), "chaos"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert f"-> {flight}" in out
+    entries = read_flight_jsonl(str(flight))
+    # The acceptance bar: a chaos run's dump replays >= 1000 events.
+    assert len(entries) >= 1000
+    kinds = {e["kind"] for e in entries}
+    assert "event" in kinds and "fault" in kinds
+    for e in entries:
+        assert "t" in e and "kind" in e
+    # Entries arrive in virtual-time order (the ring preserves occurrence
+    # order and the clock is monotone).
+    times = [e["t"] for e in entries]
+    assert times == sorted(times)
+
+
+def test_failing_command_auto_dumps_flight_ring(tmp_path, capsys, monkeypatch):
+    from repro import cli
+    from repro.obs import read_flight_jsonl
+
+    def failing_chaos(args):
+        obs = cli._force_observer(args)
+        for i in range(5):
+            obs.recorder.record("event", seq=i)
+        return 1
+
+    monkeypatch.setitem(cli._COMMANDS, "chaos", failing_chaos)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--seed", "5", "chaos"]) == 1
+    err = capsys.readouterr().err
+    assert "dumped last 5 events" in err
+    entries = read_flight_jsonl(str(tmp_path / "flight-chaos.jsonl"))
+    assert [e["seq"] for e in entries] == list(range(5))

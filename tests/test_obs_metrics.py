@@ -133,7 +133,7 @@ def test_null_observer_hands_out_shared_singletons():
     assert NULL_COUNTER.value == 0.0
     assert math.isnan(NULL_HISTOGRAM.percentile(50))
     assert NULL_OBSERVER.registry.snapshot() == {}
-    assert NULL_OBSERVER.export() == {"spans": 0, "series": 0}
+    assert NULL_OBSERVER.export() == {"spans": 0, "series": 0, "flight": 0}
 
 
 # ----------------------------------------------------------------------
@@ -163,3 +163,84 @@ def test_summary_table_renders():
     table = summary_table(obs.registry)
     assert "metric" in table and "c" in table and "h" in table
     assert summary_table(MetricsRegistry()).endswith("(no metrics recorded)")
+
+
+def test_prometheus_label_values_are_escaped():
+    """Backslash, double-quote, and newline per the exposition spec."""
+    reg = MetricsRegistry()
+    reg.counter("paths_total", path='C:\\tmp\\"x"\nnext').inc()
+    text = prometheus_text(reg)
+    line = next(
+        li for li in text.splitlines() if li.startswith("paths_total{")
+    )
+    assert line == 'paths_total{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1.0'
+    # Escaping is single-pass: an already-escaped backslash is not
+    # re-escaped into four on export.
+    reg2 = MetricsRegistry()
+    reg2.counter("x_total", v="\\").inc()
+    assert 'x_total{v="\\\\"} 1.0' in prometheus_text(reg2)
+
+
+def _parse_exposition(text: str) -> tuple[dict[str, str], list[str]]:
+    """Reference parse of the text format: samples + TYPE headers."""
+    samples: dict[str, str] = {}
+    types: list[str] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            types.append(line[len("# TYPE "):])
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = value
+    return samples, types
+
+
+def test_prometheus_round_trip_with_hostile_labels():
+    reg = MetricsRegistry()
+    reg.counter("req_total", site="NEU", note='say "hi"\\now').inc(4)
+    reg.counter("req_total", site="WEU").inc(2)
+    reg.gauge("depth", q="a\nb").set(1.5)
+    samples, types = _parse_exposition(prometheus_text(reg))
+    # One TYPE line per family, even with multiple series.
+    assert sorted(types) == ["depth gauge", "req_total counter"]
+    assert samples['req_total{note="say \\"hi\\"\\\\now",site="NEU"}'] == "4.0"
+    assert samples['req_total{site="WEU"}'] == "2.0"
+    assert samples['depth{q="a\\nb"}'] == "1.5"
+    # Hostile values never produce raw newlines inside a sample line.
+    assert all("\n" not in s for s in samples)
+
+
+# ----------------------------------------------------------------------
+# Histogram percentile edge cases (documented sentinels)
+# ----------------------------------------------------------------------
+def test_percentile_out_of_range_raises():
+    h = MetricsRegistry().histogram("h")
+    h.observe(1.0)
+    for bad in (-0.1, 100.1, 1000.0):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(bad)
+
+
+def test_percentile_empty_histogram_is_nan():
+    h = MetricsRegistry().histogram("h")
+    assert math.isnan(h.percentile(50))
+    snap = h.snapshot()
+    assert snap.count == 0
+    assert math.isnan(snap.p50) and math.isnan(snap.p99)
+
+
+def test_percentile_single_sample_returns_it_for_every_q():
+    h = MetricsRegistry().histogram("h")
+    h.observe(42.0)
+    for q in (0.0, 50.0, 95.0, 100.0):
+        assert h.percentile(q) == 42.0
+
+
+def test_percentile_interpolates_between_samples():
+    h = MetricsRegistry().histogram("h")
+    h.observe(0.0)
+    h.observe(10.0)
+    assert h.percentile(50) == pytest.approx(5.0)
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 10.0

@@ -1,0 +1,245 @@
+"""Stage profiler, flight recorder, bench records, dashboard rendering."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import FlightRecorder, Observer, StageProfiler, read_flight_jsonl
+from repro.obs.bench import BenchRecord, config_digest, read_bench, write_bench
+from repro.obs.dashboard import render_dashboard
+from repro.obs.profile import NULL_METER, NULL_STAGE_TIMER
+
+
+# ----------------------------------------------------------------------
+# StageProfiler
+# ----------------------------------------------------------------------
+def test_timer_handles_are_cached():
+    prof = StageProfiler()
+    assert prof.timer("a") is prof.timer("a")
+    assert prof.meter("m") is prof.meter("m")
+    assert prof.timer("a") is not prof.timer("b")
+
+
+def test_nested_stages_attribute_exclusive_time():
+    """Entering a nested stage pauses the parent: self-times are disjoint."""
+    prof = StageProfiler()
+    with prof.timer("outer"):
+        with prof.timer("inner"):
+            for _ in range(20000):
+                pass
+    stages = prof.stages()
+    assert stages["outer"].calls == 1
+    assert stages["inner"].calls == 1
+    # Exclusive attribution: the sum of self-times equals the profiled
+    # wall window (single outermost stage) to within float noise.
+    accounted = prof.accounted_seconds()
+    assert math.isclose(accounted, prof.wall_seconds, rel_tol=1e-6)
+    # The busy loop ran inside "inner", so it must dominate.
+    assert stages["inner"].seconds > stages["outer"].seconds
+
+
+def test_shares_sum_to_one_and_sort_by_self_time():
+    prof = StageProfiler()
+    with prof.timer("a"):
+        with prof.timer("b"):
+            for _ in range(50000):
+                pass
+        with prof.timer("c"):
+            pass
+    snap = prof.snapshot()
+    shares = [s["share"] for s in snap["stages"].values()]
+    assert math.isclose(sum(shares), 1.0, abs_tol=1e-9)
+    assert list(snap["stages"]) == sorted(
+        snap["stages"], key=lambda n: -snap["stages"][n]["seconds"]
+    )
+    assert next(iter(snap["stages"])) == "b"
+
+
+def test_virtual_window_tracks_bound_clock():
+    now = {"t": 0.0}
+    prof = StageProfiler(clock=lambda: now["t"])
+    with prof.timer("loop"):
+        now["t"] = 120.0  # the outermost stage advanced virtual time
+    assert prof.virtual_seconds == pytest.approx(120.0)
+    snap = prof.snapshot()
+    assert snap["virtual_seconds"] == pytest.approx(120.0)
+
+
+def test_meter_rates_against_external_wall():
+    prof = StageProfiler()
+    prof.meter("records").mark(500)
+    prof.meter("records").mark(500)
+    snap = prof.snapshot(wall_seconds=2.0)
+    m = snap["meters"]["records"]
+    assert m["count"] == 1000
+    assert m["per_wall_s"] == pytest.approx(500.0)
+
+
+def test_coverage_against_external_wall():
+    prof = StageProfiler()
+    with prof.timer("only"):
+        for _ in range(10000):
+            pass
+    wall = prof.wall_seconds / 0.5  # pretend half the run was unprofiled
+    snap = prof.snapshot(wall_seconds=wall)
+    assert snap["coverage"] == pytest.approx(0.5, rel=1e-6)
+
+
+def test_reset_zeroes_but_keeps_handles_valid():
+    prof = StageProfiler()
+    timer = prof.timer("t")
+    meter = prof.meter("m")
+    with timer:
+        meter.mark(5)
+    prof.reset()
+    assert prof.accounted_seconds() == 0.0
+    assert prof.wall_seconds == 0.0
+    with timer:  # the cached handle still attributes after reset
+        meter.mark(2)
+    assert prof.stages()["t"].calls == 1
+    assert prof.meters()["m"].count == 2
+
+
+def test_null_handles_are_shared_and_inert():
+    with NULL_STAGE_TIMER:
+        NULL_METER.mark(100)
+    assert NULL_METER.count == 0.0
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder
+# ----------------------------------------------------------------------
+def test_ring_keeps_only_the_last_capacity_entries():
+    rec = FlightRecorder(capacity=3)
+    for i in range(10):
+        rec.record("event", seq=i)
+    assert len(rec) == 3
+    assert rec.recorded == 10  # total ever recorded survives eviction
+    assert [e["seq"] for e in rec.events] == [7, 8, 9]
+
+
+def test_entries_are_stamped_with_the_bound_clock():
+    now = {"t": 5.0}
+    rec = FlightRecorder(clock=lambda: now["t"])
+    rec.record("a")
+    now["t"] = 7.5
+    rec.record("b")
+    assert [e["t"] for e in rec.events] == [5.0, 7.5]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_dump_round_trips_and_stringifies_unserialisable(tmp_path):
+    rec = FlightRecorder(capacity=8)
+    rec.record("fault", fault="vm_crash", target=("NEU", 0))
+    rec.record("event", payload=object())  # no JSON encoder
+    path = tmp_path / "flight.jsonl"
+    assert rec.dump(str(path)) == 2
+    entries = read_flight_jsonl(str(path))
+    assert [e["kind"] for e in entries] == ["fault", "event"]
+    assert entries[0]["fault"] == "vm_crash"
+    assert isinstance(entries[1]["payload"], str)  # stringified, not lost
+    # Every line is independently valid JSON (post-mortem greppability).
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_clear_empties_ring_but_not_total():
+    rec = FlightRecorder(capacity=4)
+    rec.record("x")
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.recorded == 1
+
+
+# ----------------------------------------------------------------------
+# BenchRecord
+# ----------------------------------------------------------------------
+def _profile_fixture():
+    prof = StageProfiler()
+    with prof.timer("sim.dispatch"):
+        with prof.timer("site.drain"):
+            pass
+    prof.meter("records").mark(1000)
+    prof.meter("events").mark(100)
+    return prof.snapshot(wall_seconds=2.0)
+
+
+def test_bench_record_round_trip(tmp_path):
+    profile = _profile_fixture()
+    record = BenchRecord.from_profile(
+        "unit", "scenario-x", 7, profile,
+        config={"duration": 60.0}, records=1000, events=100,
+        extras={"p95_s": 1.5},
+    )
+    path = write_bench(record, tmp_path)
+    assert path.name == "BENCH_unit.json"
+    data = read_bench(path)
+    assert data["scenario"] == "scenario-x"
+    assert data["records_per_s"] == pytest.approx(500.0)
+    assert data["events_per_s"] == pytest.approx(50.0)
+    assert data["config_digest"] == config_digest({"duration": 60.0})
+    assert math.isclose(sum(data["stage_shares"].values()), 1.0, abs_tol=1e-3)
+    assert data["extras"]["p95_s"] == 1.5
+
+
+def test_read_bench_rejects_missing_keys(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"bench": "bad"}))
+    with pytest.raises(ValueError, match="missing bench keys"):
+        read_bench(path)
+
+
+def test_read_bench_rejects_broken_share_sum(tmp_path):
+    profile = _profile_fixture()
+    record = BenchRecord.from_profile("broken", "s", 1, profile)
+    data = record.to_dict()
+    data["stage_shares"] = {"sim.dispatch": 0.4}  # sums to 0.4
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="stage shares sum"):
+        read_bench(path)
+
+
+def test_config_digest_is_order_insensitive():
+    assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+    assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+
+# ----------------------------------------------------------------------
+# Dashboard
+# ----------------------------------------------------------------------
+def test_render_dashboard_surfaces_stages_meters_gauges():
+    obs = Observer()
+    with obs.stage("sim.dispatch"):
+        with obs.stage("site.drain"):
+            pass
+    obs.meter("records").mark(42)
+    obs.gauge("stream_backlog_depth", site="NEU").set(17)
+    obs.gauge("flow_breaker_state", site="NEU").set(2.0)
+    text = render_dashboard(obs, title="unit perf")
+    assert "unit perf" in text
+    assert "sim.dispatch" in text and "site.drain" in text
+    assert "records" in text
+    assert 'stream_backlog_depth{site="NEU"}' in text
+    assert "open" in text  # breaker state decoded, not a bare 2.0
+
+
+def test_render_dashboard_disabled_observer():
+    from repro.obs import NULL_OBSERVER
+
+    text = render_dashboard(NULL_OBSERVER)
+    assert "disabled" in text
+
+
+def test_render_dashboard_empty_observer_has_placeholders():
+    text = render_dashboard(Observer())
+    assert "no stages profiled" in text
+    assert "no meters recorded" in text
+    assert "no gauges recorded" in text
