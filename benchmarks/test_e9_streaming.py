@@ -70,6 +70,7 @@ def run_e9a():
     rates = (200.0, 1000.0, 5000.0, 20000.0)
     out = {}
     profile = None
+    lineage = None
     for rate in rates:
         for raw in (False, True):
             # The canonical (1000 ev/s, partial-agg) leg runs with the
@@ -93,12 +94,34 @@ def run_e9a():
             out[(rate, raw)] = (stats.p50, stats.p95, runtime.wan_bytes())
             if obs is not None:
                 profile = obs.profiler.snapshot(wall_seconds=wall)
-    return rates, out, profile
+                # Lineage + ledger checks on the canonical leg: every
+                # emitted window must carry complete provenance, and the
+                # attributed cost must reconcile with the meter.
+                engine.env.finalize()
+                cost = engine.ledger.summary(
+                    windows=len(runtime.results) or None,
+                    records=runtime.records_ingested() or None,
+                )
+                lineage = {
+                    "stats": runtime.lineage_stats(),
+                    "reconciled": engine.ledger.reconcile(),
+                    "p99_s": stats.p99,
+                    "usd_per_1k": cost.usd_per_1k_records,
+                    "per_site_p99_s": {
+                        site: obs.histogram(
+                            "stream_e2e_latency_seconds", site=site
+                        ).percentile(99)
+                        for site in SITES
+                    },
+                }
+    return rates, out, profile, lineage
 
 
 @pytest.mark.benchmark(group="e9")
 def test_e9a_latency_vs_rate(benchmark, report, bench_dir):
-    rates, out, profile = benchmark.pedantic(run_e9a, rounds=1, iterations=1)
+    rates, out, profile, lineage = benchmark.pedantic(
+        run_e9a, rounds=1, iterations=1
+    )
     rows = []
     for rate in rates:
         p50, p95, wan = out[(rate, False)]
@@ -136,6 +159,24 @@ def test_e9a_latency_vs_rate(benchmark, report, bench_dir):
         f"raw/partial WAN ratio at 5k ev/s: "
         f"{out[(5000.0, True)][2] / out[(5000.0, False)][2]:.0f}x",
     )
+    lstats = lineage["stats"]
+    rec.check(
+        "every emitted window carries complete source→emission lineage",
+        lstats["results"] > 0
+        and lstats["complete"] == lstats["with_lineage"] == lstats["results"],
+        f"{lstats['complete']}/{lstats['results']} windows complete",
+    )
+    rec.check(
+        "ledger attribution reconciles with the cost meter",
+        lineage["reconciled"],
+        f"${lineage['usd_per_1k']:.4f} per 1k records",
+    )
+    per_site = lineage["per_site_p99_s"]
+    rec.check(
+        "per-region E2E latency histograms cover every producing site",
+        all(np.isfinite(per_site[s]) for s in SITES),
+        ", ".join(f"{s} p99 {per_site[s]:.1f}s" for s in SITES),
+    )
     report("E9a", table, rec.render())
 
     # Publish the E9 trajectory point from the instrumented leg.
@@ -159,7 +200,10 @@ def test_e9a_latency_vs_rate(benchmark, report, bench_dir):
             "p50_s": out[(1000.0, False)][0],
             "p95_s": out[(1000.0, False)][1],
             "wan_bytes": out[(1000.0, False)][2],
+            "per_site_p99_s": per_site,
         },
+        e2e_latency_p99_s=lineage["p99_s"],
+        usd_per_1k_records=lineage["usd_per_1k"],
     )
     read_bench(write_bench(bench, bench_dir))  # round-trip validates
     rec.assert_shape()

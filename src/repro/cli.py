@@ -15,6 +15,7 @@ simulated cloud:
    $ sage stream --workload sensors --duration 300
    $ sage chaos --seed 7 --duration 240        # fault-recovery report
    $ sage overload --policy shed               # overload-recovery report
+   $ sage audit --jsonl violations.jsonl       # strict SLO/invariant audit
 
 (entry point: ``python -m repro.cli`` or the ``sage`` console script).
 """
@@ -86,6 +87,32 @@ def _force_observer(args) -> Observer:
     if not _observer(args).enabled:
         args._observer = Observer()
     return args._observer
+
+
+def _scenario_observer(args) -> Observer:
+    """Chaos-class commands always fly with the black box armed.
+
+    Even without ``--trace``/``--metrics``/``--flight-record`` the run
+    keeps a flight-recorder ring, so a failing (or crashing) scenario
+    can dump what broke. The instance is cached on ``args`` — the
+    post-mortem dump in :func:`main` must read the very observer the
+    engine recorded into; a fresh one would be empty.
+    """
+    return _force_observer(args)
+
+
+def _dump_flight(args, rc) -> None:
+    """Dump the engine-bound flight ring after a failed/crashed command."""
+    obs = getattr(args, "_observer", None)
+    if obs is None or not obs.enabled or not len(obs.recorder):
+        return
+    path = getattr(args, "flight_record", None) or f"flight-{args.command}.jsonl"
+    count = obs.recorder.dump(path)
+    print(
+        f"flight: command failed ({rc}); "
+        f"dumped last {count} events -> {path}",
+        file=sys.stderr,
+    )
 
 
 def _engine(args):
@@ -229,7 +256,7 @@ def cmd_chaos(args) -> int:
             duration=args.duration,
             inject=not args.no_faults,
         ),
-        observer=_observer(args),
+        observer=_scenario_observer(args),
     )
     print(report.describe())
     return 0 if report.clean else 1
@@ -248,10 +275,69 @@ def cmd_overload(args) -> int:
             brownout=None if args.no_brownout else (70.0, 40.0, 0.0),
             crash_at=None if args.no_crash else 150.0,
         ),
-        observer=_observer(args),
+        observer=_scenario_observer(args),
     )
     print(report.describe())
     return 0 if report.clean else 1
+
+
+def cmd_audit(args) -> int:
+    """Run scenarios under the continuous SLO auditor, strictly."""
+    import json
+
+    from repro.config import ChaosConfig, OverloadConfig
+    from repro.faults import run_chaos
+    from repro.flow import run_overload
+
+    obs = _scenario_observer(args)
+    reports = []
+    if args.scenario in ("chaos", "all"):
+        reports.append(
+            run_chaos(
+                ChaosConfig(
+                    seed=args.seed,
+                    duration=args.duration,
+                    strict_slo=True,
+                    slo_max_latency_s=args.max_latency,
+                    slo_max_usd_per_1k=args.max_usd_per_1k,
+                ),
+                observer=obs,
+            )
+        )
+    if args.scenario in ("overload", "all"):
+        reports.append(
+            run_overload(
+                OverloadConfig(
+                    policy=args.policy,
+                    seed=args.seed,
+                    duration=args.duration,
+                    strict_slo=True,
+                    slo_max_latency_s=args.max_latency,
+                    slo_max_usd_per_1k=args.max_usd_per_1k,
+                ),
+                observer=obs,
+            )
+        )
+    violations: list[dict] = []
+    for report in reports:
+        audit = report.audit
+        cost = report.cost
+        for v in audit["violations"]:
+            violations.append({"scenario": report.scenario, **v})
+        print(
+            f"{report.scenario}: {audit['checks']} checks, "
+            f"{audit['violation_count']} violations, "
+            f"${cost.get('total_usd', 0.0):.4f} total "
+            f"({'clean' if report.clean else 'VIOLATED'})"
+        )
+    if args.jsonl:
+        # Empty file on green — CI uploads it either way, so a missing
+        # artifact never aliases a clean run.
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            for v in violations:
+                fh.write(json.dumps(v, sort_keys=True) + "\n")
+        print(f"violations: {len(violations)} -> {args.jsonl}")
+    return 0 if all(r.clean for r in reports) and not violations else 1
 
 
 def cmd_perf(args) -> int:
@@ -462,6 +548,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "audit",
+        help="run scenarios under the continuous SLO auditor "
+        "(strict: any violation fails the command)",
+    )
+    p.add_argument(
+        "--scenario", choices=("chaos", "overload", "all"), default="all"
+    )
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument(
+        "--policy",
+        choices=("block", "shed", "degrade"),
+        default="block",
+        help="overload policy for the overload arm",
+    )
+    p.add_argument(
+        "--max-latency",
+        type=float,
+        help="per-window end-to-end latency SLO in seconds",
+    )
+    p.add_argument(
+        "--max-usd-per-1k",
+        type=float,
+        help="cost SLO: attributed $ per 1000 ingested records",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the violation log (JSONL; empty file when clean)",
+    )
+
+    p = sub.add_parser(
         "perf",
         help="profile a scenario: hot stages, throughput, optional "
         "BENCH_*.json",
@@ -543,6 +660,7 @@ _COMMANDS = {
     "stream": cmd_stream,
     "chaos": cmd_chaos,
     "overload": cmd_overload,
+    "audit": cmd_audit,
     "perf": cmd_perf,
     "dashboard": cmd_dashboard,
     "sweep": cmd_sweep,
@@ -555,7 +673,14 @@ def main(argv: list[str] | None = None) -> int:
         if path and not os.path.isdir(os.path.dirname(path) or "."):
             print(f"error: directory does not exist: {path}", file=sys.stderr)
             return 2
-    rc = _COMMANDS[args.command](args)
+    try:
+        rc = _COMMANDS[args.command](args)
+    except Exception:
+        # A crashing command still dumps its black box — the entries
+        # recorded up to the exception are exactly what the post-mortem
+        # needs, and the observer bound to the engine holds them.
+        _dump_flight(args, "exception")
+        raise
     obs = getattr(args, "_observer", None)
     if obs is not None and obs.enabled:
         try:
@@ -576,16 +701,10 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"flight: {written['flight']} events -> {args.flight_record}"
             )
-        elif rc != 0 and len(obs.recorder):
+        elif rc != 0:
             # A failing run dumps its black box automatically: the last
             # ring of events is exactly what the post-mortem needs.
-            path = f"flight-{args.command}.jsonl"
-            count = obs.recorder.dump(path)
-            print(
-                f"flight: command failed (rc {rc}); "
-                f"dumped last {count} events -> {path}",
-                file=sys.stderr,
-            )
+            _dump_flight(args, f"rc {rc}")
     return rc
 
 

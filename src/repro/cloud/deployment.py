@@ -134,14 +134,18 @@ class CloudEnvironment:
             raise KeyError(f"{vm.vm_id} is not leased")
         (deployment or self.deployment).remove(vm)
         return self.meter.charge_vm_time(
-            vm.size.usd_per_hour, self.sim.now - lease.started_at
+            vm.size.usd_per_hour,
+            self.sim.now - lease.started_at,
+            context=vm.region_code,
         )
 
     def finalize(self) -> None:
         """Bill all still-open leases up to the current time and close them."""
         for lease in list(self._leases.values()):
             self.meter.charge_vm_time(
-                lease.vm.size.usd_per_hour, self.sim.now - lease.started_at
+                lease.vm.size.usd_per_hour,
+                self.sim.now - lease.started_at,
+                context=lease.vm.region_code,
             )
         self._leases.clear()
 

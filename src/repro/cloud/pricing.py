@@ -113,9 +113,30 @@ class CostMeter:
         self.egress_bytes = 0.0
         self.vm_seconds = 0.0
         self.transactions = 0
+        #: Charge listeners: ``cb(kind, amount, usd, context)`` fires on
+        #: every accrual with the exact USD charged, so a subscriber's
+        #: attributed totals reconcile with this meter by construction.
+        self._listeners: list = []
+
+    def on_charge(self, callback) -> None:
+        """Subscribe to every charge this meter accrues.
+
+        ``callback(kind, amount, usd, context)`` where ``kind`` is one of
+        ``"egress" | "vm" | "storage" | "transactions"``, ``amount`` the
+        natural unit (bytes, seconds, byte-seconds, count), ``usd`` the
+        exact amount accrued, and ``context`` whatever the charge site
+        passed (a link like ``"NEU->NUS"``, a region, or ``None``).
+        """
+        self._listeners.append(callback)
+
+    def _notify(self, kind: str, amount: float, usd: float, context) -> None:
+        for cb in self._listeners:
+            cb(kind, amount, usd, context)
 
     # ------------------------------------------------------------------
-    def charge_vm_time(self, usd_per_hour: float, seconds: float) -> float:
+    def charge_vm_time(
+        self, usd_per_hour: float, seconds: float, context=None
+    ) -> float:
         """Accrue ``seconds`` of lease for one VM; returns USD charged."""
         if seconds < 0:
             raise ValueError("negative VM time")
@@ -128,29 +149,39 @@ class CostMeter:
         usd = usd_per_hour * seconds_billed / HOUR
         self.vm_usd += usd
         self.vm_seconds += seconds
+        if self._listeners:
+            self._notify("vm", seconds, usd, context)
         return usd
 
-    def charge_egress(self, nbytes: float) -> float:
+    def charge_egress(self, nbytes: float, context=None) -> float:
         """Accrue outbound transfer volume; returns USD charged."""
         if nbytes < 0:
             raise ValueError("negative egress")
         usd = self.prices.egress_cost(nbytes, already_used=self.egress_bytes)
         self.egress_usd += usd
         self.egress_bytes += nbytes
+        if self._listeners:
+            self._notify("egress", nbytes, usd, context)
         return usd
 
-    def charge_storage_capacity(self, nbytes: float, seconds: float) -> float:
+    def charge_storage_capacity(
+        self, nbytes: float, seconds: float, context=None
+    ) -> float:
         """Accrue blob capacity-time (pro-rated from the monthly price)."""
         month_s = 30 * 24 * HOUR
         usd = (nbytes / GB) * self.prices.storage_usd_per_gb_month * seconds / month_s
         self.storage_usd += usd
+        if self._listeners:
+            self._notify("storage", nbytes * seconds, usd, context)
         return usd
 
-    def charge_transactions(self, count: int) -> float:
+    def charge_transactions(self, count: int, context=None) -> float:
         """Accrue storage transactions (PUT/GET)."""
         usd = count * self.prices.storage_usd_per_transaction
         self.storage_usd += usd
         self.transactions += count
+        if self._listeners:
+            self._notify("transactions", count, usd, context)
         return usd
 
     # ------------------------------------------------------------------

@@ -83,10 +83,13 @@ class BlobStore:
             raise ValueError("object size must be positive")
         self.puts += 1
         if self.meter is not None:
-            self.meter.charge_transactions(1)
+            self.meter.charge_transactions(1, context=f"blob:{self.region_code}")
             if client.region_code != self.region_code:
                 # Cross-region PUT leaves the client's datacenter.
-                self.meter.charge_egress(size)
+                self.meter.charge_egress(
+                    size,
+                    context=f"{client.region_code}->{self.region_code}",
+                )
 
         def _complete(flow: Flow) -> None:
             def _visible() -> None:
@@ -120,10 +123,13 @@ class BlobStore:
             raise KeyError(f"no object {name!r} in {self.region_code}") from None
         self.gets += 1
         if self.meter is not None:
-            self.meter.charge_transactions(1)
+            self.meter.charge_transactions(1, context=f"blob:{self.region_code}")
             if client.region_code != self.region_code:
                 # Cross-region GET leaves the storage datacenter.
-                self.meter.charge_egress(obj.size)
+                self.meter.charge_egress(
+                    obj.size,
+                    context=f"{self.region_code}->{client.region_code}",
+                )
 
         def _complete(flow: Flow) -> None:
             def _delivered() -> None:
@@ -156,4 +162,6 @@ class BlobStore:
             return
         total = sum(o.size for o in self.objects.values())
         if total > 0:
-            self.meter.charge_storage_capacity(total, seconds)
+            self.meter.charge_storage_capacity(
+                total, seconds, context=f"blob:{self.region_code}"
+            )

@@ -85,6 +85,13 @@ class ChaosConfig(ConfigBase):
     inject: bool = True
     delivery_timeout: float = 15.0
     max_retries: int = 8
+    #: When set, invariant/SLO violations found by the continuous
+    #: auditor fail the scenario (``report.clean`` turns False).
+    strict_slo: bool = False
+    #: Per-window end-to-end latency SLO in seconds (None = no SLO).
+    slo_max_latency_s: float | None = None
+    #: Cost SLO: attributed streaming $ per 1000 raw records.
+    slo_max_usd_per_1k: float | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -93,6 +100,10 @@ class ChaosConfig(ConfigBase):
             raise ValueError("records_per_s must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
+            raise ValueError("slo_max_latency_s must be positive")
+        if self.slo_max_usd_per_1k is not None and self.slo_max_usd_per_1k <= 0:
+            raise ValueError("slo_max_usd_per_1k must be positive")
 
 
 @dataclass(frozen=True)
@@ -115,6 +126,13 @@ class OverloadConfig(ConfigBase):
     crash_at: float | None = 150.0
     restart_after: float = 15.0
     checkpoint_interval: float = 15.0
+    #: When set, invariant/SLO violations found by the continuous
+    #: auditor fail the scenario (``report.clean`` turns False).
+    strict_slo: bool = False
+    #: Per-window end-to-end latency SLO in seconds (None = no SLO).
+    slo_max_latency_s: float | None = None
+    #: Cost SLO: attributed streaming $ per 1000 raw records.
+    slo_max_usd_per_1k: float | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -123,6 +141,10 @@ class OverloadConfig(ConfigBase):
             raise ValueError("burst_factor must be >= 1")
         if self.max_backlog <= 0:
             raise ValueError("max_backlog must be positive")
+        if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
+            raise ValueError("slo_max_latency_s must be positive")
+        if self.slo_max_usd_per_1k is not None and self.slo_max_usd_per_1k <= 0:
+            raise ValueError("slo_max_usd_per_1k must be positive")
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.core.decision import DecisionConfig, DecisionManager
 from repro.monitor.agent import MonitorConfig, MonitoringAgent
 from repro.monitor.failure import FailureDetector, FailureDetectorConfig
 from repro.obs import NULL_OBSERVER
+from repro.obs.ledger import CostLedger
 from repro.simulation.units import MINUTE
 from repro.transfer.service import TransferService
 
@@ -48,6 +49,10 @@ class SageEngine:
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.observer.bind_clock(lambda: env.sim.now)
         env.sim.attach_observer(self.observer)
+        #: Cost attribution: every meter charge from here on is folded
+        #: into per-link / per-region buckets (reconciles with the meter
+        #: by construction — the listener sees the exact USD charged).
+        self.ledger = CostLedger(env.meter, observer=self.observer)
         if deployment_spec:
             for region, count in sorted(deployment_spec.items()):
                 env.provision(region, vm_size, count)

@@ -31,6 +31,7 @@ from repro.report import ScenarioReport, metrics_snapshot
 from repro.core.engine import SageEngine
 from repro.faults.injector import AppliedFault, FaultInjector
 from repro.faults.plan import FaultPlan, chaos_scenario
+from repro.obs.audit import SLOAuditor
 from repro.simulation.units import format_bytes
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.operators import builtin_aggregate
@@ -62,6 +63,12 @@ class ChaosResult:
     wan_bytes: float = 0.0
     egress_bytes: float = 0.0
     egress_usd: float = 0.0
+    #: Continuous-auditor outcome (:class:`repro.obs.audit.AuditReport`
+    #: dict form) and attributed cost rollup.
+    audit: dict = field(default_factory=dict)
+    cost: dict = field(default_factory=dict)
+    slo_violations: int = 0
+    strict_slo: bool = False
 
     @property
     def lost(self) -> int:
@@ -73,8 +80,12 @@ class ChaosResult:
 
     @property
     def clean(self) -> bool:
-        """The recovery contract held: nothing lost, nothing doubled."""
-        return self.lost == 0 and self.double_counted == 0
+        """The recovery contract held: nothing lost, nothing doubled
+        (and, under ``strict_slo``, zero auditor violations)."""
+        ok = self.lost == 0 and self.double_counted == 0
+        if self.strict_slo:
+            ok = ok and self.slo_violations == 0
+        return ok
 
     def describe(self) -> str:
         lines = [
@@ -102,6 +113,9 @@ class ChaosResult:
             f"lost: {self.lost}, double-counted: {self.double_counted}",
             f"wide-area bytes (incl. retries): {format_bytes(self.wan_bytes)}, "
             f"egress ${self.egress_usd:.4f}",
+            f"auditor: {self.audit.get('checks', 0)} checks, "
+            f"{self.slo_violations} violations"
+            + (" (strict)" if self.strict_slo else ""),
             "",
             "verdict: " + ("CLEAN — zero loss, zero double-counting"
                            if self.clean else "DATA INTEGRITY VIOLATED"),
@@ -181,6 +195,12 @@ def run_chaos(
         max_retries=max_retries,
     )
     runtime = GeoStreamRuntime(engine, job, factory)
+    auditor = SLOAuditor(
+        engine,
+        runtime,
+        max_latency_s=cfg.slo_max_latency_s,
+        max_usd_per_1k=cfg.slo_max_usd_per_1k,
+    ).start()
 
     injector: FaultInjector | None = None
     if inject:
@@ -204,8 +224,12 @@ def run_chaos(
     engine.run_until(engine.sim.now + job.finalize_grace + 60.0)
     engine.env.finalize()
 
+    audit_report = auditor.finish()
     ingested = runtime.records_ingested()
     counted = sum(r.record_count for r in runtime.results)
+    cost = engine.ledger.summary(
+        windows=len(runtime.results) or None, records=ingested or None
+    )
     last_emit = max((r.emitted_at for r in runtime.results), default=drain_start)
     detector = engine.detector
     meter = engine.env.meter.snapshot()
@@ -233,6 +257,10 @@ def run_chaos(
         wan_bytes=runtime.wan_bytes(),
         egress_bytes=meter.egress_bytes,
         egress_usd=meter.egress_usd,
+        audit=audit_report.to_dict(),
+        cost=cost.to_dict(),
+        slo_violations=len(audit_report.violations),
+        strict_slo=cfg.strict_slo,
     )
     return ScenarioReport(
         scenario="chaos",

@@ -41,6 +41,7 @@ from repro.report import ScenarioReport, metrics_snapshot
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.flow.policy import FlowConfig
+from repro.obs.audit import SLOAuditor
 from repro.simulation.units import format_bytes
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.operators import builtin_aggregate
@@ -85,6 +86,12 @@ class OverloadResult:
     batches_replayed: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats.empty)
     wan_bytes: float = 0.0
+    #: Continuous-auditor outcome (:class:`repro.obs.audit.AuditReport`
+    #: dict form) and attributed cost rollup.
+    audit: dict = field(default_factory=dict)
+    cost: dict = field(default_factory=dict)
+    slo_violations: int = 0
+    strict_slo: bool = False
 
     @property
     def shed(self) -> int:
@@ -122,6 +129,8 @@ class OverloadResult:
         ok = self.backlog_bounded and self.accounted
         if self.policy == "block":
             ok = ok and self.lost == 0
+        if self.strict_slo:
+            ok = ok and self.slo_violations == 0
         return ok
 
     def describe(self) -> str:
@@ -161,6 +170,9 @@ class OverloadResult:
             + ")",
             self.latency.describe(),
             f"wide-area bytes: {format_bytes(self.wan_bytes)}",
+            f"auditor: {self.audit.get('checks', 0)} checks, "
+            f"{self.slo_violations} violations"
+            + (" (strict)" if self.strict_slo else ""),
             "",
             "verdict: "
             + (
@@ -277,6 +289,12 @@ def run_overload(
     store = runtime.enable_checkpointing(
         interval=checkpoint_interval
     ).store
+    auditor = SLOAuditor(
+        engine,
+        runtime,
+        max_latency_s=cfg.slo_max_latency_s,
+        max_usd_per_1k=cfg.slo_max_usd_per_1k,
+    ).start()
 
     if brownout is not None:
         start, length, scale = brownout
@@ -353,6 +371,11 @@ def run_overload(
     engine.run_until(engine.sim.now + job.finalize_grace + 60.0)
     engine.env.finalize()
 
+    audit_report = auditor.finish()
+    cost = engine.ledger.summary(
+        windows=len(runtime.results) or None,
+        records=runtime.records_ingested() or None,
+    )
     sites = list(runtime.sites.values())
     backends = [site.shipping for site in sites]
     breakers = [b.breaker for b in backends if b.breaker is not None]
@@ -390,6 +413,10 @@ def run_overload(
         batches_replayed=replayed[0],
         latency=runtime.latency_stats(),
         wan_bytes=runtime.wan_bytes(),
+        audit=audit_report.to_dict(),
+        cost=cost.to_dict(),
+        slo_violations=len(audit_report.violations),
+        strict_slo=cfg.strict_slo,
     )
     return ScenarioReport(
         scenario="overload",

@@ -27,6 +27,9 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.audit import AuditReport, SLOAuditor, Violation
+from repro.obs.ledger import CostLedger, CostSummary
+from repro.obs.lineage import BatchTrace, SiteLeg, WindowLineage, trace_id
 from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
@@ -205,6 +208,15 @@ __all__ = [
     "Observer",
     "NullObserver",
     "NULL_OBSERVER",
+    "AuditReport",
+    "SLOAuditor",
+    "Violation",
+    "CostLedger",
+    "CostSummary",
+    "BatchTrace",
+    "SiteLeg",
+    "WindowLineage",
+    "trace_id",
     "MetricsRegistry",
     "NullRegistry",
     "MetricSnapshot",

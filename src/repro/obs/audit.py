@@ -1,0 +1,294 @@
+"""Continuous SLO / invariant auditor for geo-streaming runs.
+
+The scenario contracts ("nothing lost, nothing doubled, bounded
+latency") have so far been checked *after* a run, by the scenario code
+itself. :class:`SLOAuditor` moves the checks online: it rides the
+virtual-time clock next to a :class:`~repro.streaming.runtime.GeoStreamRuntime`
+and evaluates, every ``check_interval`` seconds of simulated time:
+
+* **watermark monotonicity** — a site's event-time watermark must never
+  move backwards (a regression silently reopens closed windows);
+* **exactly-once emission** — no ``(window, key)`` pair may appear twice
+  in the delivered result stream, crashes and restarts included;
+* **latency SLO** — each emitted window's end-to-end latency (event-time
+  window close → global emission) against a user-declared bound.
+
+At :meth:`finish` time — once the run has drained to quiescence — it
+additionally checks the **loss identity** (every missing record must be
+explained by a shed / late / abandoned counter) and the **cost SLO**
+(attributed streaming $ per 1k records from the engine's
+:class:`~repro.obs.ledger.CostLedger`).
+
+Every violation becomes a structured :class:`Violation`, a fault-bus
+event (``audit.<kind>`` — which also lands in the flight-recorder ring
+when observability is on), and an ``audit_violations_total{kind=}``
+counter increment. All inputs are virtual-time and deterministic, so
+the resulting :class:`AuditReport` is safe in canonical scenario output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Violation kinds the auditor can emit, in check order.
+AUDIT_KINDS = (
+    "watermark_regression",
+    "duplicate_window",
+    "latency_slo",
+    "loss_identity",
+    "cost_slo",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant or SLO breach, timestamped in virtual time."""
+
+    t: float
+    kind: str
+    target: str
+    value: float
+    limit: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "target": self.target,
+            "value": self.value,
+            "limit": self.limit,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audited run (JSON-safe via :meth:`to_dict`)."""
+
+    checks: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.kind] = counts.get(v.kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "clean": self.clean,
+            "violation_count": len(self.violations),
+            "counts_by_kind": self.counts_by_kind(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class SLOAuditor:
+    """Online invariant checks over a running geo-stream.
+
+    Attach before :meth:`~repro.streaming.runtime.GeoStreamRuntime.start`
+    (or any time mid-run), call :meth:`start`, and collect the
+    :class:`AuditReport` from :meth:`finish` after the drain. The
+    auditor never mutates the runtime — it only reads public counters
+    and the result list — so an audited run produces byte-identical
+    canonical output to an unaudited one.
+    """
+
+    def __init__(
+        self,
+        engine,
+        runtime,
+        max_latency_s: float | None = None,
+        max_usd_per_1k: float | None = None,
+        check_interval: float = 5.0,
+    ) -> None:
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.engine = engine
+        self.runtime = runtime
+        self.max_latency_s = max_latency_s
+        self.max_usd_per_1k = max_usd_per_1k
+        self.check_interval = check_interval
+        self.violations: list[Violation] = []
+        self.checks = 0
+        self._task = None
+        self._last_watermarks: dict[str, float] = {}
+        #: (start, end, key) triples already checked against the latency
+        #: SLO / already flagged as duplicates — results are re-scanned
+        #: every tick (the list is rebuilt by the runtime), so both
+        #: checks key on window identity, not list position.
+        self._latency_checked: set[tuple] = set()
+        self._dup_flagged: set[tuple] = set()
+        obs = engine.observer
+        self._obs = obs
+        self._obs_on = obs.enabled
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SLOAuditor":
+        """Begin periodic checks on the engine's virtual clock."""
+        if self._task is None:
+            self._task = self.engine.sim.add_periodic(
+                self.check_interval, self.check_now
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def _violate(
+        self, kind: str, target: str, value: float, limit: float, detail: str
+    ) -> None:
+        violation = Violation(
+            t=self.engine.sim.now,
+            kind=kind,
+            target=target,
+            value=value,
+            limit=limit,
+            detail=detail,
+        )
+        self.violations.append(violation)
+        # Fault-bus broadcast: reaches subscribed components and the
+        # flight-recorder ring, so a post-mortem dump shows the breach
+        # in sequence with the faults around it.
+        self.engine.emit_fault(f"audit.{kind}", target)
+        if self._obs_on:
+            self._obs.counter("audit_violations_total", kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    def check_now(self) -> None:
+        """Run every online check once (also called by the periodic task)."""
+        self.checks += 1
+        self._check_watermarks()
+        self._check_results()
+
+    def _check_watermarks(self) -> None:
+        for region, site in self.runtime.sites.items():
+            wm = site.watermark
+            last = self._last_watermarks.get(region)
+            if last is not None and wm < last:
+                self._violate(
+                    "watermark_regression",
+                    region,
+                    value=wm,
+                    limit=last,
+                    detail=(
+                        f"site {region} watermark moved backwards: "
+                        f"{last:.3f}s -> {wm:.3f}s"
+                    ),
+                )
+            self._last_watermarks[region] = wm
+
+    def _check_results(self) -> None:
+        seen: dict[tuple, int] = {}
+        for result in self.runtime.results:
+            ident = (result.window.start, result.window.end, result.key)
+            seen[ident] = seen.get(ident, 0) + 1
+            if seen[ident] > 1 and ident not in self._dup_flagged:
+                self._dup_flagged.add(ident)
+                self._violate(
+                    "duplicate_window",
+                    f"{result.key}@{result.window.start:.0f}",
+                    value=float(seen[ident]),
+                    limit=1.0,
+                    detail=(
+                        f"window [{result.window.start:.0f}, "
+                        f"{result.window.end:.0f}) key={result.key} "
+                        f"emitted {seen[ident]} times"
+                    ),
+                )
+            if self.max_latency_s is not None and ident not in self._latency_checked:
+                self._latency_checked.add(ident)
+                if result.latency > self.max_latency_s:
+                    self._violate(
+                        "latency_slo",
+                        f"{result.key}@{result.window.start:.0f}",
+                        value=result.latency,
+                        limit=self.max_latency_s,
+                        detail=(
+                            f"window [{result.window.start:.0f}, "
+                            f"{result.window.end:.0f}) key={result.key} "
+                            f"e2e latency {result.latency:.1f}s exceeds "
+                            f"SLO {self.max_latency_s:.1f}s"
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_loss_identity(self) -> None:
+        runtime = self.runtime
+        ingested = runtime.records_ingested()
+        counted = runtime.records_in_results()
+        lost = max(0, ingested - counted)
+        sites = list(runtime.sites.values())
+        shed = runtime.records_shed()
+        late_dropped = sum(site.aggregator.late_dropped for site in sites)
+        late_partial = getattr(
+            runtime.aggregator, "late_partial_records", 0
+        )
+        abandoned = sum(
+            getattr(site.shipping, "records_abandoned", 0) for site in sites
+        )
+        explained = shed + late_dropped + late_partial + abandoned
+        if lost != explained:
+            self._violate(
+                "loss_identity",
+                "runtime",
+                value=float(lost),
+                limit=float(explained),
+                detail=(
+                    f"lost {lost} != explained {explained} "
+                    f"(shed {shed} + late_dropped {late_dropped} + "
+                    f"late_partial {late_partial} + abandoned {abandoned})"
+                ),
+            )
+
+    def _check_cost(self) -> None:
+        if self.max_usd_per_1k is None:
+            return
+        ledger = getattr(self.engine, "ledger", None)
+        if ledger is None:
+            return
+        records = self.runtime.records_ingested()
+        if not records:
+            return
+        summary = ledger.summary(
+            windows=len(self.runtime.results) or None, records=records
+        )
+        usd_per_1k = summary.usd_per_1k_records
+        if usd_per_1k > self.max_usd_per_1k:
+            self._violate(
+                "cost_slo",
+                "ledger",
+                value=usd_per_1k,
+                limit=self.max_usd_per_1k,
+                detail=(
+                    f"${usd_per_1k:.4f} per 1k records exceeds "
+                    f"SLO ${self.max_usd_per_1k:.4f}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def finish(self, quiescent: bool = True) -> AuditReport:
+        """Final sweep; cancels the periodic task and returns the report.
+
+        ``quiescent=False`` skips the loss identity (records still in
+        flight are neither counted nor lost — the identity only holds
+        once the pipe has drained).
+        """
+        self.check_now()
+        if quiescent:
+            self._check_loss_identity()
+        self._check_cost()
+        self.stop()
+        return AuditReport(checks=self.checks, violations=list(self.violations))
+
+
+__all__ = ["AUDIT_KINDS", "AuditReport", "SLOAuditor", "Violation"]

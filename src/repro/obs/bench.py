@@ -58,6 +58,10 @@ class BenchRecord:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     coverage: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Lineage/ledger headline numbers (PR7+). ``None`` omits them from
+    #: the JSON, keeping earlier trajectory records byte-compatible.
+    e2e_latency_p99_s: float | None = None
+    usd_per_1k_records: float | None = None
 
     @classmethod
     def from_profile(
@@ -71,6 +75,8 @@ class BenchRecord:
         records: float = 0.0,
         events: float = 0.0,
         extras: dict[str, Any] | None = None,
+        e2e_latency_p99_s: float | None = None,
+        usd_per_1k_records: float | None = None,
     ) -> "BenchRecord":
         """Build a record from a :meth:`StageProfiler.snapshot` dict."""
         wall = profile["wall_seconds"]
@@ -91,10 +97,12 @@ class BenchRecord:
             },
             coverage=profile["coverage"],
             extras=dict(extras or {}),
+            e2e_latency_p99_s=e2e_latency_p99_s,
+            usd_per_1k_records=usd_per_1k_records,
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "bench": self.bench,
             "scenario": self.scenario,
             "seed": self.seed,
@@ -113,6 +121,11 @@ class BenchRecord:
             "coverage": round(self.coverage, 6),
             "extras": self.extras,
         }
+        if self.e2e_latency_p99_s is not None:
+            out["e2e_latency_p99_s"] = round(self.e2e_latency_p99_s, 6)
+        if self.usd_per_1k_records is not None:
+            out["usd_per_1k_records"] = round(self.usd_per_1k_records, 9)
+        return out
 
 
 def write_bench(record: BenchRecord, directory: str | Path) -> Path:
@@ -148,4 +161,19 @@ def read_bench(path: str | Path) -> dict[str, Any]:
             raise ValueError(
                 f"{path}: stage shares sum to {total:.6f}, expected ≈1.0"
             )
+    # Lineage/ledger fields are optional (older records predate them)
+    # but must be sane numbers when present.
+    for key in ("e2e_latency_p99_s", "usd_per_1k_records"):
+        if key in data and data[key] is not None:
+            value = data[key]
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or math.isnan(value)
+                or value < 0
+            ):
+                raise ValueError(
+                    f"{path}: {key} must be a non-negative number, "
+                    f"got {value!r}"
+                )
     return data

@@ -96,8 +96,81 @@ def gauges_panel(observer) -> str:
     return render_table(["gauge", "value", "peak"], rows, title="Gauges")
 
 
+def lineage_panel(observer) -> str:
+    """Per-site end-to-end latency percentiles from the lineage layer.
+
+    Empty string (panel hidden) when no lineage histograms exist — runs
+    without the streaming aggregator have nothing to show here.
+    """
+    snapshot = observer.registry.snapshot()
+    rows: list[list[object]] = []
+    for key in sorted(snapshot):
+        snap = snapshot[key]
+        if (
+            snap.kind == "histogram"
+            and snap.name == "stream_e2e_latency_seconds"
+            and snap.count
+        ):
+            site = dict(snap.labels).get("site", "?")
+            rows.append(
+                [site, snap.count, f"{snap.p50:.1f}", f"{snap.p95:.1f}",
+                 f"{snap.p99:.1f}", f"{snap.max:.1f}"]
+            )
+    if not rows:
+        return ""
+    return render_table(
+        ["site", "windows", "p50 (s)", "p95 (s)", "p99 (s)", "max (s)"],
+        rows,
+        title="End-to-end latency (event time -> emission)",
+    )
+
+
+#: Ledger gauges surfaced in the cost panel, in display order.
+_COST_GAUGES = (
+    "ledger_usd_per_window",
+    "ledger_usd_per_1k_records",
+    "ledger_link_egress_usd",
+    "ledger_vm_usd",
+)
+
+
+def cost_panel(observer) -> str:
+    """Attributed spend from the cost ledger (hidden when no charges)."""
+    snapshot = observer.registry.snapshot()
+    rows: list[list[object]] = []
+    for prefix in _COST_GAUGES:
+        for key in sorted(snapshot):
+            snap = snapshot[key]
+            if (
+                snap.kind == "gauge"
+                and snap.name == prefix
+                and not math.isnan(snap.value)
+            ):
+                rows.append([key, f"${snap.value:.4f}"])
+    if not rows:
+        return ""
+    return render_table(["cost", "usd"], rows, title="Cost ledger")
+
+
+def slo_panel(observer) -> str:
+    """SLO-auditor violation counts by kind (hidden when never audited)."""
+    snapshot = observer.registry.snapshot()
+    rows: list[list[object]] = []
+    for key in sorted(snapshot):
+        snap = snapshot[key]
+        if snap.kind == "counter" and snap.name == "audit_violations_total":
+            kind = dict(snap.labels).get("kind", "?")
+            rows.append([kind, f"{snap.value:g}"])
+    if not rows:
+        return ""
+    return render_table(
+        ["violation", "count"], rows, title="SLO violations"
+    )
+
+
 def render_dashboard(observer, top: int = 10, title: str = "SAGE perf") -> str:
-    """The full dashboard: header + throughput + hot stages + gauges."""
+    """The full dashboard: header + throughput + hot stages + gauges,
+    plus lineage/cost/SLO panels whenever their layers recorded data."""
     if not observer.enabled:
         return f"{title}\n(observability disabled — nothing to show)"
     snap = observer.profiler.snapshot()
@@ -109,11 +182,13 @@ def render_dashboard(observer, top: int = 10, title: str = "SAGE perf") -> str:
         f"({speedup:,.0f}x real time), "
         f"attribution coverage {100.0 * snap['coverage']:.0f}%"
     )
-    return "\n\n".join(
-        [
-            header,
-            throughput_panel(observer),
-            hottest_stages(observer, top=top),
-            gauges_panel(observer),
-        ]
-    )
+    panels = [
+        header,
+        throughput_panel(observer),
+        hottest_stages(observer, top=top),
+        gauges_panel(observer),
+        lineage_panel(observer),
+        cost_panel(observer),
+        slo_panel(observer),
+    ]
+    return "\n\n".join(panel for panel in panels if panel)

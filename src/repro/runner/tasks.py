@@ -134,6 +134,16 @@ def execute_task(payload: dict) -> dict:
             "virtual_seconds": report.virtual_seconds,
             "sim_speedup": report.virtual_seconds / wall if wall > 0 else 0.0,
         }
+        # Audited scenarios ride their SLO outcome next to the result so
+        # the sweep JSONL answers "which shard violated what" directly.
+        audit = getattr(report, "audit", None)
+        if isinstance(audit, dict) and audit:
+            perf["slo"] = {
+                "checks": audit.get("checks", 0),
+                "violations": audit.get("violation_count", 0),
+                "counts_by_kind": audit.get("counts_by_kind", {}),
+                "clean": audit.get("clean", True),
+            }
     elif isinstance(report, dict):
         result = report
     else:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.lineage import BatchTrace
 from repro.streaming.events import Batch, Record
 
 
@@ -148,6 +149,7 @@ class Batcher:
         if not self._buffer:
             return None
         batch = Batch(self._buffer, self.origin, created_at=now, seq=self._seq)
+        batch.trace = BatchTrace.stamp(self.origin, self._seq, now)
         self._seq += 1
         self.batches_cut += 1
         self._buffer = []

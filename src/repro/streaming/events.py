@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.lineage import BatchTrace
+
 
 @dataclass(frozen=True)
 class Record:
@@ -34,6 +36,9 @@ class Batch:
     origin: str
     created_at: float
     seq: int = 0
+    #: Causal trace context stamped at cut time; shared across retries,
+    #: duplicates, and checkpoint replay of the same batch object.
+    trace: BatchTrace | None = None
 
     def __post_init__(self) -> None:
         if not self.records:

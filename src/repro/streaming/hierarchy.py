@@ -64,6 +64,10 @@ class HubAggregator:
             HybridBatchPolicy(64 * KB, max(hold, 0.5)), origin=hub_region
         )
         self._slots: dict[tuple[Window, str], _HubSlot] = {}
+        #: Trace IDs of child batches merged since the last onward batch
+        #: was cut — stamped as ``parents`` on the outgoing trace, the
+        #: cross-tier edge of the trace tree.
+        self._parent_ids: list[str] = []
         #: ``(origin, seq)`` of merged child batches — at-least-once
         #: shipping from the edge may re-send; a duplicate must not be
         #: merged into the hub state twice.
@@ -90,6 +94,8 @@ class HubAggregator:
                 self.duplicates_dropped += 1
                 return
             self._seen_batches.add(key)
+        if batch.trace is not None:
+            self._parent_ids.append(batch.trace.trace_id)
         for record in batch.records:
             value = record.value
             if not isinstance(value, PartialAggregate):
@@ -142,6 +148,9 @@ class HubAggregator:
             self._ship(out)
 
     def _ship(self, batch: Batch) -> None:
+        if batch.trace is not None and self._parent_ids:
+            batch.trace.parents = tuple(self._parent_ids)
+            self._parent_ids.clear()
         self.shipping.ship(batch, self._delivered)
 
     def _delivered(self, batch: Batch) -> None:

@@ -29,6 +29,7 @@ from repro.core.engine import SageEngine
 from repro.flow.checkpoint import Checkpointer, CheckpointStore
 from repro.flow.credits import CreditGate
 from repro.flow.policy import FlowConfig, make_policy
+from repro.obs.lineage import SiteLeg, WindowLineage
 from repro.streaming.batching import Batcher
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.events import Batch, Record
@@ -46,6 +47,10 @@ class WindowResult:
     record_count: int
     sites: int
     emitted_at: float
+    #: Causal provenance (which sites/links/attempts produced this
+    #: result, with per-hop timings); ``None`` only for results built
+    #: before lineage existed or by hand in tests.
+    lineage: WindowLineage | None = None
 
     @property
     def latency(self) -> float:
@@ -402,6 +407,15 @@ class SiteRuntime:
             self.shipping.ship(self._retained[seq], self.deliver)
         return len(self._retained)
 
+    @property
+    def watermark(self) -> float:
+        """Current event-time watermark (``-inf`` before the first tick).
+
+        Monotonically non-decreasing by contract — the SLO auditor polls
+        this to catch any regression.
+        """
+        return self._watermark
+
     # -- checkpoint/restore --------------------------------------------
     def snapshot(self) -> dict:
         """JSON-serializable window state (backlog stays at the source
@@ -433,7 +447,7 @@ class SiteRuntime:
 
 
 class _PendingWindowKey:
-    __slots__ = ("state", "count", "sites", "emit_scheduled", "due")
+    __slots__ = ("state", "count", "sites", "emit_scheduled", "due", "legs")
 
     def __init__(self) -> None:
         self.state = None
@@ -443,6 +457,9 @@ class _PendingWindowKey:
         #: Virtual time the finalize timer fires — checkpointed so a
         #: restored aggregator re-arms the timer with the remaining wait.
         self.due = 0.0
+        #: Per-origin lineage legs, folded from the traces of every
+        #: batch that delivered a partial for this (window, key).
+        self.legs: dict[str, SiteLeg] = {}
 
 
 class GlobalAggregator:
@@ -483,6 +500,9 @@ class GlobalAggregator:
         self._m_latency = obs.histogram("stream_window_latency_seconds")
         self._m_dups = obs.counter("agg_duplicates_dropped_total")
         self._st_merge = obs.stage("agg.merge")
+        #: Lazily created per-site / per-hop latency histograms.
+        self._lat_by_site: dict[str, object] = {}
+        self._hop_hists: dict[tuple[str, str], object] = {}
 
     def deliver(self, batch: Batch) -> None:
         with self._st_merge:
@@ -500,7 +520,7 @@ class GlobalAggregator:
         for record in batch.records:
             value = record.value
             if isinstance(value, PartialAggregate):
-                self._merge_partial(record, value, batch.origin, now)
+                self._merge_partial(record, value, batch, now)
             else:
                 self.raw_records += 1
                 self._raw_aggregator.process(record)
@@ -512,8 +532,9 @@ class GlobalAggregator:
                 self._finalize_now(pa.window, pa.key, pa.state, pa.count, 1, now)
 
     def _merge_partial(
-        self, record: Record, pa: PartialAggregate, origin: str, now: float
+        self, record: Record, pa: PartialAggregate, batch: Batch, now: float
     ) -> None:
+        origin = batch.origin
         slot = (pa.window, pa.key)
         if slot in self._emitted:
             self.late_partials += 1
@@ -528,7 +549,12 @@ class GlobalAggregator:
         else:
             pending.state = self.job.aggregate.merge(pending.state, pa.state)
         pending.count += pa.count
-        pending.sites.add(origin or "?")
+        site = origin or "?"
+        pending.sites.add(site)
+        leg = pending.legs.get(site)
+        if leg is None:
+            leg = pending.legs[site] = SiteLeg(site=site)
+        leg.absorb(batch.trace, pa.count, record.size_bytes, now)
         if not pending.emit_scheduled:
             pending.emit_scheduled = True
             pending.due = now + self.job.finalize_grace
@@ -550,10 +576,22 @@ class GlobalAggregator:
             pending.count,
             len(pending.sites),
             self.engine.sim.now,
+            legs=pending.legs,
         )
 
-    def _finalize_now(self, window, key, state, count, sites, now) -> None:
+    def _finalize_now(
+        self, window, key, state, count, sites, now, legs=None
+    ) -> None:
         self._emitted.add((window, key))
+        lineage = WindowLineage(
+            window_start=window.start,
+            window_end=window.end,
+            key=key,
+            emitted_at=now,
+            legs=tuple(
+                legs[site] for site in sorted(legs)
+            ) if legs else (),
+        )
         sink = self.uncommitted if self.exactly_once else self.results
         sink.append(
             WindowResult(
@@ -563,11 +601,18 @@ class GlobalAggregator:
                 record_count=count,
                 sites=sites,
                 emitted_at=now,
+                lineage=lineage,
             )
         )
         if self._obs_on:
             self._m_results.inc()
             self._m_latency.observe(now - window.end)
+            breakdown = lineage.breakdown()
+            for leg in lineage.legs:
+                self._e2e_hist(leg.site).observe(now - window.end)
+                for hop_name, seconds in breakdown[leg.site].items():
+                    if seconds == seconds:  # skip NaN (incomplete legs)
+                        self._hop_hist(hop_name, leg.site).observe(seconds)
             # The span runs from the window's event-time close to the
             # global emission: its duration IS the end-to-end latency.
             self.engine.observer.record_span(
@@ -578,7 +623,27 @@ class GlobalAggregator:
                 window_start=window.start,
                 records=count,
                 sites=sites,
+                lineage_complete=lineage.complete,
             )
+
+    def _e2e_hist(self, site: str):
+        """Per-site end-to-end latency histogram, created lazily (sites
+        are only known once their first window result lands)."""
+        hist = self._lat_by_site.get(site)
+        if hist is None:
+            hist = self._lat_by_site[site] = self.engine.observer.histogram(
+                "stream_e2e_latency_seconds", site=site
+            )
+        return hist
+
+    def _hop_hist(self, hop: str, site: str):
+        key = (hop, site)
+        hist = self._hop_hists.get(key)
+        if hist is None:
+            hist = self._hop_hists[key] = self.engine.observer.histogram(
+                "lineage_hop_seconds", hop=hop, site=site
+            )
+        return hist
 
     def latency_stats(self) -> LatencyStats:
         return LatencyStats.from_results(self.results + self.uncommitted)
@@ -603,7 +668,8 @@ class GlobalAggregator:
             "seen": sorted([o, s] for (o, s) in self._seen_batches),
             "pending": [
                 [w.start, w.end, key, p.state, p.count,
-                 sorted(p.sites), p.due]
+                 sorted(p.sites), p.due,
+                 [p.legs[s].to_dict() for s in sorted(p.legs)]]
                 for (w, key), p in sorted(
                     self._pending.items(),
                     key=lambda kv: (kv[0][0], kv[0][1]),
@@ -636,13 +702,20 @@ class GlobalAggregator:
         self.duplicates_dropped = counters["duplicates_dropped"]
         self._raw_aggregator.restore(payload["raw"])
         self._pending = {}
-        for start, end, key, state, count, sites, due in payload["pending"]:
+        for row in payload["pending"]:
+            start, end, key, state, count, sites, due = row[:7]
             pending = _PendingWindowKey()
             pending.state = state
             pending.count = count
             pending.sites = set(sites)
             pending.emit_scheduled = True
             pending.due = due
+            # Row 8 (legs) appeared with lineage; absent in older
+            # checkpoints, whose windows restore without provenance.
+            if len(row) > 7:
+                pending.legs = {
+                    leg["site"]: SiteLeg.from_dict(leg) for leg in row[7]
+                }
             slot = (Window(start, end), key)
             self._pending[slot] = pending
             self.engine.sim.schedule(
@@ -813,6 +886,23 @@ class GeoStreamRuntime:
 
     def latency_stats(self) -> LatencyStats:
         return LatencyStats.from_results(self.results)
+
+    def lineage_stats(self) -> dict:
+        """How much of the emitted output carries full provenance.
+
+        ``complete`` counts results whose every leg has a cut, send and
+        arrival timestamp — i.e. windows the lineage layer can decompose
+        into site_close/queue/transit/merge hops end to end.
+        """
+        results = self.results
+        with_lineage = [r for r in results if r.lineage is not None]
+        return {
+            "results": len(results),
+            "with_lineage": len(with_lineage),
+            "complete": sum(
+                1 for r in with_lineage if r.lineage.complete
+            ),
+        }
 
     def wan_bytes(self) -> float:
         return sum(site.shipping.bytes_shipped for site in self.sites.values())

@@ -76,15 +76,21 @@ class _ShipInstruments:
 
     One span per batch covers ship → arrival; its duration is the
     wide-area delivery latency and ``bps`` the achieved link throughput.
+
+    Independently of the observer, every attempt appends a lineage
+    :class:`~repro.obs.lineage.Hop` to the batch's trace — causal
+    metadata like ``seq``, always on (one small allocation per batch
+    attempt, nothing per record).
     """
 
-    __slots__ = ("_obs", "_on", "_backend", "_link", "_m_bytes", "_m_batches",
-                 "_mt_batches", "_mt_bytes")
+    __slots__ = ("_obs", "_on", "_sim", "_backend", "_link", "_m_bytes",
+                 "_m_batches", "_mt_batches", "_mt_bytes")
 
     def __init__(self, engine: SageEngine, backend: str, src: str, dst: str):
         obs = engine.observer
         self._obs = obs
         self._on = obs.enabled
+        self._sim = engine.sim
         self._backend = backend
         self._link = f"{src}->{dst}"
         self._m_bytes = obs.counter(
@@ -102,8 +108,22 @@ class _ShipInstruments:
         self, batch: Batch, on_delivered: DeliveryCallback
     ) -> DeliveryCallback:
         """Count the batch; return a delivery callback closing its span."""
+        sim = self._sim
+        trace = batch.trace
+        hop = (
+            trace.begin_hop(self._link, self._backend, sim.now)
+            if trace is not None
+            else None
+        )
         if not self._on:
-            return on_delivered
+            if hop is None:
+                return on_delivered
+
+            def _arrived(b: Batch) -> None:
+                hop.arrived_at = sim.now
+                on_delivered(b)
+
+            return _arrived
         self._m_bytes.inc(batch.size_bytes)
         self._m_batches.inc()
         self._mt_batches.mark()
@@ -117,6 +137,8 @@ class _ShipInstruments:
         )
 
         def _delivered(b: Batch) -> None:
+            if hop is not None:
+                hop.arrived_at = sim.now
             span.finish()
             if span.duration > 0:
                 span.attrs["bps"] = batch.size_bytes / span.duration

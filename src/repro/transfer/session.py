@@ -108,8 +108,10 @@ class TransferSession:
                 if self.meter is not None:
                     # Bytes already moved crossed real datacenter
                     # boundaries; the provider bills them regardless.
-                    for _hop in flow.wan_hops():
-                        self.meter.charge_egress(flow.transferred)
+                    for src, dst in flow.wan_hops():
+                        self.meter.charge_egress(
+                            flow.transferred, context=f"{src}->{dst}"
+                        )
         self._flows_pending = 0
         return undelivered
 
@@ -119,8 +121,8 @@ class TransferSession:
         self.acks_received += self._chunks_of[flow.flow_id]
         if self.meter is not None:
             # Every datacenter boundary crossed bills the upstream side.
-            for _hop in flow.wan_hops():
-                self.meter.charge_egress(flow.size)
+            for src, dst in flow.wan_hops():
+                self.meter.charge_egress(flow.size, context=f"{src}->{dst}")
         if self.on_flow_complete is not None:
             self.on_flow_complete(self, flow, route)
         self._flows_pending -= 1

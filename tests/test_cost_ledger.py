@@ -1,0 +1,155 @@
+"""Cost ledger: charge attribution, reconciliation, headline metrics."""
+
+import math
+
+import pytest
+
+from repro.cloud.deployment import CloudEnvironment
+from repro.cloud.pricing import CostMeter, PriceBook
+from repro.core.engine import SageEngine
+from repro.obs import CostLedger, Observer
+from repro.streaming.dataflow import SiteSpec, StreamJob
+from repro.streaming.operators import builtin_aggregate
+from repro.streaming.runtime import GeoStreamRuntime
+from repro.streaming.shipping import SageShipping
+from repro.streaming.sources import PoissonSource
+from repro.streaming.windows import TumblingWindows
+
+
+def fresh_meter():
+    return CostMeter(PriceBook())
+
+
+# ----------------------------------------------------------------------
+# Attribution buckets
+# ----------------------------------------------------------------------
+def test_link_egress_attribution():
+    meter = fresh_meter()
+    ledger = CostLedger(meter)
+    meter.charge_egress(1e9, context="NEU->NUS")
+    meter.charge_egress(2e9, context="NEU->NUS")
+    meter.charge_egress(5e8, context="WEU->NUS")
+    assert set(ledger.per_link) == {"NEU->NUS", "WEU->NUS"}
+    assert ledger.per_link["NEU->NUS"].bytes == 3e9
+    assert ledger.per_link["WEU->NUS"].bytes == 5e8
+    assert ledger.egress_bytes == 3.5e9
+    assert ledger.egress_usd == pytest.approx(meter.egress_usd)
+    assert ledger.reconcile()
+
+
+def test_unattributed_egress_lands_in_other_bucket():
+    meter = fresh_meter()
+    ledger = CostLedger(meter)
+    meter.charge_egress(1e9)  # context-less caller
+    meter.charge_egress(1e9, context="not-a-link")
+    assert ledger.per_link == {}
+    assert ledger.other_egress_bytes == 2e9
+    assert ledger.other_usd == pytest.approx(meter.egress_usd)
+    assert ledger.reconcile()  # unattributed still balances the meter
+
+
+def test_vm_and_storage_attribution():
+    meter = fresh_meter()
+    ledger = CostLedger(meter)
+    meter.charge_vm_time(0.10, 3600.0, context="NEU")
+    meter.charge_vm_time(0.10, 1800.0, context="NEU")
+    meter.charge_vm_time(0.20, 3600.0, context="NUS")
+    meter.charge_storage_capacity(1e9, 600.0, context="blob:NEU")
+    meter.charge_transactions(10, context="blob:NEU")
+    assert set(ledger.per_region) == {"NEU", "NUS"}
+    assert ledger.per_region["NEU"].seconds == 5400.0
+    assert ledger.vm_usd == pytest.approx(meter.vm_usd)
+    assert ledger.vm_seconds == 9000.0
+    assert ledger.storage_usd == pytest.approx(meter.storage_usd)
+    assert ledger.reconcile()
+
+
+def test_baseline_excludes_charges_before_attach():
+    meter = fresh_meter()
+    meter.charge_egress(1e9, context="NEU->NUS")  # pre-existing spend
+    ledger = CostLedger(meter)
+    meter.charge_egress(2e9, context="NEU->NUS")
+    # Only the post-attach charge is attributed, and the delta-based
+    # reconciliation still balances.
+    assert ledger.per_link["NEU->NUS"].bytes == 2e9
+    assert ledger.reconcile()
+
+
+# ----------------------------------------------------------------------
+# Summary normalisation
+# ----------------------------------------------------------------------
+def test_summary_headline_metrics_and_gauges():
+    obs = Observer()
+    meter = fresh_meter()
+    ledger = CostLedger(meter, observer=obs)
+    meter.charge_egress(1e9, context="NEU->NUS")
+    meter.charge_vm_time(0.10, 3600.0, context="NEU")
+    summary = ledger.summary(windows=20, records=10_000)
+    spend = summary.egress_usd + summary.vm_usd
+    assert summary.usd_per_window == pytest.approx(spend / 20)
+    assert summary.usd_per_1k_records == pytest.approx(spend / 10)
+    assert summary.total_usd == pytest.approx(
+        summary.egress_usd + summary.vm_usd
+        + summary.storage_usd + summary.other_usd
+    )
+    # Gauges surface the normalised metrics and the attribution buckets.
+    assert obs.gauge("ledger_usd_per_window").value == pytest.approx(
+        summary.usd_per_window
+    )
+    assert obs.gauge("ledger_usd_per_1k_records").value == pytest.approx(
+        summary.usd_per_1k_records
+    )
+    assert obs.gauge(
+        "ledger_link_egress_usd", link="NEU->NUS"
+    ).value == pytest.approx(summary.per_link["NEU->NUS"].usd)
+    assert obs.gauge("ledger_vm_usd", region="NEU").value == pytest.approx(
+        summary.per_region["NEU"].usd
+    )
+    payload = summary.to_dict()
+    assert payload["total_usd"] == pytest.approx(summary.total_usd)
+    assert payload["per_link"]["NEU->NUS"]["bytes"] == 1e9
+    assert payload["per_region"]["NEU"]["seconds"] == 3600.0
+
+
+def test_summary_without_denominators_keeps_nan():
+    ledger = CostLedger(fresh_meter())
+    summary = ledger.summary()
+    assert math.isnan(summary.usd_per_window)
+    assert math.isnan(summary.usd_per_1k_records)
+
+
+# ----------------------------------------------------------------------
+# End to end: the engine's ledger reconciles after a streaming run
+# ----------------------------------------------------------------------
+def test_engine_ledger_reconciles_after_streaming_run():
+    obs = Observer()
+    env = CloudEnvironment(seed=13, variability_sigma=0.0, glitches=False)
+    engine = SageEngine(
+        env, deployment_spec={"NEU": 2, "NUS": 2}, observer=obs
+    )
+    engine.start(learning_phase=60.0)
+    job = StreamJob(
+        name="cost",
+        sites=[SiteSpec("NEU", [PoissonSource("p", rate=100.0, keys=["k"])])],
+        aggregation_region="NUS",
+        windows=TumblingWindows(10.0),
+        aggregate=builtin_aggregate("count"),
+    )
+    runtime = GeoStreamRuntime(engine, job, SageShipping.factory(n_nodes=2))
+    runtime.run_for(60.0)
+    engine.env.finalize()  # bill the open VM leases
+
+    ledger = engine.ledger
+    assert ledger.reconcile()
+    # Streaming egress rode the NEU->NUS link; VM time accrued in both
+    # deployed regions once leases were finalized.
+    assert "NEU->NUS" in ledger.per_link
+    assert ledger.per_link["NEU->NUS"].bytes > 0
+    assert set(ledger.per_region) >= {"NEU", "NUS"}
+    assert ledger.vm_usd > 0
+    summary = ledger.summary(
+        windows=len(runtime.results), records=runtime.records_ingested()
+    )
+    assert summary.usd_per_window > 0
+    assert summary.usd_per_1k_records > 0
+    assert summary.total_usd >= summary.egress_usd + summary.vm_usd

@@ -207,6 +207,44 @@ def test_read_bench_rejects_broken_share_sum(tmp_path):
         read_bench(path)
 
 
+def test_bench_record_lineage_ledger_fields_round_trip(tmp_path):
+    profile = _profile_fixture()
+    record = BenchRecord.from_profile(
+        "lin", "s", 1, profile,
+        e2e_latency_p99_s=21.5, usd_per_1k_records=0.00123456789,
+    )
+    path = write_bench(record, tmp_path)
+    data = read_bench(path)
+    assert data["e2e_latency_p99_s"] == pytest.approx(21.5)
+    assert data["usd_per_1k_records"] == pytest.approx(0.00123456789)
+    # Omitted by default: older trajectory records stay byte-compatible.
+    bare = BenchRecord.from_profile("old", "s", 1, _profile_fixture())
+    bare_data = bare.to_dict()
+    assert "e2e_latency_p99_s" not in bare_data
+    assert "usd_per_1k_records" not in bare_data
+    bare_path = write_bench(bare, tmp_path)
+    read_bench(bare_path)  # validates without the optional keys
+
+
+@pytest.mark.parametrize("key", ["e2e_latency_p99_s", "usd_per_1k_records"])
+@pytest.mark.parametrize("bad", [-0.5, float("nan"), "fast", True])
+def test_read_bench_rejects_bad_lineage_fields(tmp_path, key, bad):
+    data = BenchRecord.from_profile("bad", "s", 1, _profile_fixture()).to_dict()
+    data[key] = bad
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match=key):
+        read_bench(path)
+
+
+def test_read_bench_accepts_explicit_null_lineage_fields(tmp_path):
+    data = BenchRecord.from_profile("ok", "s", 1, _profile_fixture()).to_dict()
+    data["e2e_latency_p99_s"] = None
+    path = tmp_path / "BENCH_ok.json"
+    path.write_text(json.dumps(data))
+    assert read_bench(path)["e2e_latency_p99_s"] is None
+
+
 def test_config_digest_is_order_insensitive():
     assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
     assert config_digest({"a": 1}) != config_digest({"a": 2})
