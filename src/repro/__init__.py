@@ -27,9 +27,11 @@ implementation detail.
 
 from repro.api import (
     ChaosConfig,
+    GenConfig,
     OverloadConfig,
     SageSession,
     ScenarioReport,
+    SoakConfig,
     StreamReport,
     SweepReport,
     SweepRunner,
@@ -39,6 +41,7 @@ from repro.api import (
     derive_seed,
     register_scenario,
     run_experiment,
+    run_soak,
     run_sweep,
 )
 from repro.core.engine import SageEngine
@@ -47,10 +50,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ChaosConfig",
+    "GenConfig",
     "OverloadConfig",
     "SageEngine",
     "SageSession",
     "ScenarioReport",
+    "SoakConfig",
     "StreamReport",
     "SweepReport",
     "SweepRunner",
@@ -60,6 +65,7 @@ __all__ = [
     "derive_seed",
     "register_scenario",
     "run_experiment",
+    "run_soak",
     "run_sweep",
     "__version__",
 ]

@@ -22,15 +22,19 @@ covered by the deprecation policy.
 from __future__ import annotations
 
 from repro.config import (
+    SOAK_PROFILES,
     BlobRelayConfig,
     ChaosConfig,
     DirectConfig,
+    GenConfig,
     GridFtpConfig,
     OverloadConfig,
     ParallelStaticConfig,
     ShortestPathConfig,
+    SoakConfig,
 )
 from repro.core.api import SageSession, TransferResult
+from repro.gen.soak import run_soak
 from repro.report import ScenarioReport, StreamReport
 from repro.runner import (
     SweepReport,
@@ -82,9 +86,21 @@ def run_experiment(
     return run_fn(cfg, observer=observer)
 
 
-def default_suite(duration: float = 240.0) -> list[SweepTask]:
+def default_suite(
+    duration: float = 240.0, generated: int = 0
+) -> list[SweepTask]:
     """The standard E-suite sweep: chaos (both arms) + overload (all
-    policies), one shard each."""
+    policies), one shard each — plus, with ``generated=N``, N seeded
+    generator shards.
+
+    Each generated shard is a short soak over a *distinct* generated
+    scenario: the runner derives a different child seed per shard name,
+    and the generator expands that seed into its own deployment,
+    traffic, and fault program, cycling through the profiles. The
+    content-addressed cache keys on (scenario, config, seed), so a
+    cached sweep accumulates coverage of arbitrarily many generated
+    scenarios across runs.
+    """
     tasks = [
         SweepTask(
             name="chaos-inject",
@@ -104,6 +120,19 @@ def default_suite(duration: float = 240.0) -> list[SweepTask]:
             config={"policy": policy, "duration": duration},
         )
         for policy in ("block", "shed", "degrade")
+    )
+    tasks.extend(
+        SweepTask(
+            name=f"soak-gen-{i:03d}",
+            scenario="soak",
+            config={
+                # Short horizon per shard: the axis buys scenario
+                # *diversity*, the dedicated soak command buys duration.
+                "hours": max(duration, 240.0) / 3600.0,
+                "profile": SOAK_PROFILES[i % len(SOAK_PROFILES)],
+            },
+        )
+        for i in range(generated)
     )
     return tasks
 
@@ -135,12 +164,15 @@ __all__ = [
     "BlobRelayConfig",
     "ChaosConfig",
     "DirectConfig",
+    "GenConfig",
     "GridFtpConfig",
     "OverloadConfig",
     "ParallelStaticConfig",
+    "SOAK_PROFILES",
     "SageSession",
     "ScenarioReport",
     "ShortestPathConfig",
+    "SoakConfig",
     "StreamReport",
     "SweepReport",
     "SweepRunner",
@@ -152,5 +184,6 @@ __all__ = [
     "register_scenario",
     "registered_scenarios",
     "run_experiment",
+    "run_soak",
     "run_sweep",
 ]

@@ -16,6 +16,7 @@ simulated cloud:
    $ sage chaos --seed 7 --duration 240        # fault-recovery report
    $ sage overload --policy shed               # overload-recovery report
    $ sage audit --jsonl violations.jsonl       # strict SLO/invariant audit
+   $ sage soak --hours 48 --seed 7             # generated adversarial soak
 
 (entry point: ``python -m repro.cli`` or the ``sage`` console script).
 """
@@ -340,6 +341,48 @@ def cmd_audit(args) -> int:
     return 0 if all(r.clean for r in reports) and not violations else 1
 
 
+def cmd_soak(args) -> int:
+    """Run a seeded generated scenario for simulated hours, audited."""
+    import json
+
+    from repro.config import SoakConfig
+    from repro.gen.soak import run_soak
+
+    report = run_soak(
+        SoakConfig(
+            seed=args.seed,
+            hours=args.hours,
+            profile=args.profile,
+            check_interval=args.check_interval,
+            phase_hours=args.phase_hours,
+            strict_slo=not args.no_strict,
+            slo_max_latency_s=args.max_latency,
+            slo_max_usd_per_1k=args.max_usd_per_1k,
+        ),
+        observer=_scenario_observer(args),
+    )
+    print(report.describe())
+    if args.jsonl:
+        # Empty file on green — CI uploads it either way, so a missing
+        # artifact never aliases a clean run.
+        violations = report.audit.get("violations", [])
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            for v in violations:
+                fh.write(
+                    json.dumps({"scenario": "soak", **v}, sort_keys=True)
+                    + "\n"
+                )
+        print(f"violations: {len(violations)} -> {args.jsonl}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(report.canonical_json() + "\n")
+        print(f"report: -> {args.report_json}")
+    if args.digest:
+        # Bare digest on its own line: CI greps it to compare runs.
+        print(report.digest)
+    return 0 if report.clean else 1
+
+
 def cmd_perf(args) -> int:
     """Profile one scenario; print the dashboard; optionally publish it."""
     from time import perf_counter
@@ -429,7 +472,7 @@ def cmd_sweep(args) -> int:
 
     observer = _observer(args)
     report = run_sweep(
-        default_suite(duration=args.duration),
+        default_suite(duration=args.duration, generated=args.generated),
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         root_seed=args.seed,
@@ -579,6 +622,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "soak",
+        help="generate a seeded adversarial scenario and soak it for "
+        "simulated hours under the continuous SLO auditor",
+    )
+    p.add_argument(
+        "--hours",
+        type=float,
+        default=2.0,
+        help="simulated hours to soak (days are fine: 48h of the "
+        "default profile runs in about two wall minutes)",
+    )
+    p.add_argument(
+        "--profile",
+        choices=("calm", "diurnal", "adversarial", "hostile"),
+        default="adversarial",
+        help="generator intensity profile",
+    )
+    p.add_argument(
+        "--check-interval",
+        type=float,
+        default=30.0,
+        help="simulated seconds between invariant checks",
+    )
+    p.add_argument(
+        "--phase-hours",
+        type=float,
+        default=0.0,
+        help="report-phase length in hours (0: auto-split into up to "
+        "6 phases)",
+    )
+    p.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="report SLO violations without failing the command",
+    )
+    p.add_argument(
+        "--max-latency",
+        type=float,
+        help="per-window end-to-end latency SLO in seconds",
+    )
+    p.add_argument(
+        "--max-usd-per-1k",
+        type=float,
+        help="cost SLO: attributed $ per 1000 ingested records",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the violation log (JSONL; empty file when clean)",
+    )
+    p.add_argument(
+        "--report-json",
+        metavar="PATH",
+        help="write the canonical SoakReport JSON to PATH",
+    )
+    p.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the canonical result digest as the last line",
+    )
+
+    p = sub.add_parser(
         "perf",
         help="profile a scenario: hot stages, throughput, optional "
         "BENCH_*.json",
@@ -638,6 +743,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration", type=float, default=240.0)
     p.add_argument(
+        "--generated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="append N seeded generator shards (short soaks over "
+        "distinct generated scenarios, cycling the profiles)",
+    )
+    p.add_argument(
         "--jsonl",
         metavar="PATH",
         help="write the per-shard run log (JSONL) to PATH",
@@ -661,6 +774,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "overload": cmd_overload,
     "audit": cmd_audit,
+    "soak": cmd_soak,
     "perf": cmd_perf,
     "dashboard": cmd_dashboard,
     "sweep": cmd_sweep,

@@ -45,6 +45,12 @@ from repro.simulation.events import Event
 from repro.simulation.units import KB, MB, MINUTE
 
 _EPS = 1e-9
+#: Smallest completion delay _schedule_next will arm. An eta below the
+#: float resolution of ``sim.now`` would re-enter ``_recompute`` at the
+#: same instant (settle sees dt == 0, nothing progresses) and spin the
+#: event loop forever; one nanosecond of simulated time is enough for
+#: settle to push any such near-finished flow past its remaining bytes.
+_MIN_ETA = 1e-9
 
 #: Baseline per-tenant deliverable WAN capacity by distance class, bytes/s.
 SAME_CONTINENT_CAPACITY = 55 * MB
@@ -1067,7 +1073,7 @@ class FluidNetwork:
         horizon = self.refresh_interval
         if eta is not None and eta <= horizon:
             self._completion_event = self.sim.schedule(
-                max(eta, 0.0), self._recompute, priority=-1
+                max(eta, _MIN_ETA), self._recompute, priority=-1
             )
         else:
             # Either all rates are zero (wait for capacity refresh) or the

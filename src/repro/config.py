@@ -147,6 +147,157 @@ class OverloadConfig(ConfigBase):
             raise ValueError("slo_max_usd_per_1k must be positive")
 
 
+#: Named generator presets the soak harness accepts (see
+#: :data:`repro.gen.GEN_PROFILES` for the corresponding knob sets).
+SOAK_PROFILES = ("calm", "diurnal", "adversarial", "hostile")
+
+
+@dataclass(frozen=True)
+class GenConfig(ConfigBase):
+    """Knobs of the seeded adversarial scenario generator.
+
+    Traffic knobs shape per-region rate programs (diurnal curves, flash
+    crowds, slow drift in record sizes); adversity knobs are expected
+    event counts *per simulated day* — a two-hour soak scales them down
+    proportionally, a two-day soak scales them up. All sampling is
+    driven by seeds derived via :func:`repro.runner.seeds.derive_seed`,
+    so the same ``(seed, GenConfig)`` pair always renders the same
+    schedules and fault plans, in any process.
+    """
+
+    # -- deployment shape ----------------------------------------------
+    n_sites: int = 3
+    vms_per_site_min: int = 2
+    vms_per_site_max: int = 4
+    # -- traffic programs ----------------------------------------------
+    shapes_per_site_min: int = 1
+    shapes_per_site_max: int = 3
+    keys_min: int = 2
+    keys_max: int = 6
+    #: Per-shape base rates are modest on purpose: a soak's point is
+    #: *duration* (simulated days), and wall-clock scales with total
+    #: records. Flash crowds still push instantaneous rates an order of
+    #: magnitude higher.
+    base_rate_min: float = 3.0
+    base_rate_max: float = 10.0
+    diurnal_amplitude: float = 0.6
+    diurnal_period_s: float = 86400.0
+    flash_crowds_per_day: float = 4.0
+    flash_peak_min: float = 3.0
+    flash_peak_max: float = 8.0
+    flash_rise_s: float = 120.0
+    flash_decay_s: float = 600.0
+    #: Slow drift of record sizes (amplitude as a fraction of the
+    #: shape's nominal record size).
+    drift_amplitude: float = 0.25
+    drift_period_s: float = 21600.0
+    #: Piecewise-constant rendering resolution of rate/size schedules.
+    schedule_resolution_s: float = 60.0
+    # -- adversity programs (expected events per simulated day) --------
+    outages_per_day: float = 2.0
+    outage_mean_s: float = 240.0
+    outage_jitter_s: float = 20.0
+    flaps_per_day: float = 6.0
+    flap_scale_min: float = 0.1
+    flap_scale_max: float = 0.5
+    flap_mean_s: float = 180.0
+    slow_burns_per_day: float = 2.0
+    slow_burn_ramp_s: float = 1200.0
+    slow_burn_floor: float = 0.3
+    dup_windows_per_day: float = 3.0
+    drop_windows_per_day: float = 3.0
+    batch_window_mean_s: float = 120.0
+    # -- job shape ------------------------------------------------------
+    window_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError("n_sites must be >= 1")
+        if not 1 <= self.vms_per_site_min <= self.vms_per_site_max:
+            raise ValueError("vms_per_site bounds must satisfy 1 <= min <= max")
+        if not 1 <= self.shapes_per_site_min <= self.shapes_per_site_max:
+            raise ValueError("shapes_per_site bounds must satisfy 1 <= min <= max")
+        if not 1 <= self.keys_min <= self.keys_max:
+            raise ValueError("keys bounds must satisfy 1 <= min <= max")
+        if not 0 < self.base_rate_min <= self.base_rate_max:
+            raise ValueError("base_rate bounds must satisfy 0 < min <= max")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        for name in ("diurnal_period_s", "drift_period_s",
+                     "schedule_resolution_s", "window_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 < self.slow_burn_floor <= 1.0:
+            raise ValueError("slow_burn_floor must be in (0, 1]")
+        if not 0.0 < self.flap_scale_min <= self.flap_scale_max <= 1.0:
+            raise ValueError("flap_scale bounds must satisfy 0 < min <= max <= 1")
+        for name in ("outages_per_day", "flaps_per_day", "slow_burns_per_day",
+                     "dup_windows_per_day", "drop_windows_per_day"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class SoakConfig(ConfigBase):
+    """Configuration of the long-horizon generated soak scenario.
+
+    The scenario itself is *sampled*: ``(seed, profile)`` feed the
+    :class:`~repro.gen.ScenarioGenerator`, which renders traffic and
+    adversity programs deterministically. The config therefore stays
+    flat and JSON-safe — exactly what the sweep cache hashes.
+    """
+
+    seed: int = 2013
+    #: Simulated hours the soak covers (faults and traffic included).
+    hours: float = 2.0
+    #: Generator preset (see :data:`SOAK_PROFILES`).
+    profile: str = "adversarial"
+    #: Virtual seconds between continuous-auditor checks.
+    check_interval: float = 30.0
+    #: Simulated hours per report phase (0 = auto: ~6 phases).
+    phase_hours: float = 0.0
+    #: Periodic checkpoint cadence in seconds (0 = off — a soak without
+    #: aggregator crashes exercises exactly-once through dedup alone,
+    #: and skipping snapshots keeps multi-day runs fast).
+    checkpoint_interval: float = 0.0
+    #: Overload policy of the generated job (``block`` is lossless).
+    policy: str = "block"
+    max_backlog: int = 20_000
+    delivery_timeout: float = 15.0
+    max_retries: int = 10
+    #: When set, any auditor violation fails the scenario (soaks are
+    #: strict by default — that is their whole point).
+    strict_slo: bool = True
+    #: Per-window end-to-end latency SLO in seconds (None = no SLO).
+    slo_max_latency_s: float | None = None
+    #: Cost SLO: attributed streaming $ per 1000 raw records.
+    slo_max_usd_per_1k: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.hours <= 0:
+            raise ValueError("hours must be positive")
+        if self.profile not in SOAK_PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; choose from {SOAK_PROFILES}"
+            )
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if self.phase_hours < 0:
+            raise ValueError("phase_hours must be >= 0")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.policy not in ("block", "shed", "degrade"):
+            raise ValueError("policy must be block, shed, or degrade")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
+            raise ValueError("slo_max_latency_s must be positive")
+        if self.slo_max_usd_per_1k is not None and self.slo_max_usd_per_1k <= 0:
+            raise ValueError("slo_max_usd_per_1k must be positive")
+
+
 # ----------------------------------------------------------------------
 # Baseline configurations
 # ----------------------------------------------------------------------

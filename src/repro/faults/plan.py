@@ -232,6 +232,28 @@ class FaultPlan:
         return plan
 
     # -- views ---------------------------------------------------------
+    def horizon(self) -> float:
+        """Virtual time (relative to arming) when the plan is fully over.
+
+        Windowed faults (link flaps, batch drop/dup windows) carry their
+        duration in ``param``; their effect ends at ``time + param``, not
+        at ``time``. A runner that wants a quiescent tail must keep the
+        simulation alive past this point before draining.
+        """
+        end = 0.0
+        windowed = (FaultKind.LINK_FLAP, FaultKind.BATCH_DROP, FaultKind.BATCH_DUP)
+        for e in self.events:
+            e_end = e.time + (e.param if e.kind in windowed else 0.0)
+            end = max(end, e_end)
+        return end
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Event counts keyed by :class:`FaultKind`, sorted by kind."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     def __len__(self) -> int:
         return len(self.events)
 

@@ -351,20 +351,8 @@ def run_overload(
     # and killing the ticks with records still in the pipe would lose
     # them silently — exactly what the overload contract forbids. The
     # cap only bounds a runaway policy bug, never healthy recovery.
-    def _in_pipe() -> bool:
-        if not runtime.aggregator_up:
-            return True
-        return any(
-            site.backlog
-            or site.batcher.buffered_count
-            or site.shipping.inflight
-            or site.shipping.parked
-            or any(src.pending_count for src in site.spec.sources)
-            for site in runtime.sites.values()
-        )
-
     drain_cap = engine.sim.now + 1800.0
-    while _in_pipe() and engine.sim.now < drain_cap:
+    while runtime.in_pipe() and engine.sim.now < drain_cap:
         engine.run_until(engine.sim.now + 10.0)
     engine.run_until(engine.sim.now + job.watermark_lag + 30.0)
     runtime.stop()

@@ -1,0 +1,136 @@
+"""Adversity programs: generated fault schedules.
+
+Everything here renders into an ordinary
+:class:`~repro.faults.plan.FaultPlan`, so the existing injector replays
+generated adversity exactly like the scripted chaos scenarios — same
+relative-to-arming clock, same ordered replay log, same determinism
+contract. The builders add the *correlated* patterns the hand-written
+plans never exercised: region-wide outages (every VM and every link of
+a region inside one jittered window), slow-burn capacity ramps, and
+recurring duplicate/drop windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+
+def regional_outage(
+    plan: FaultPlan,
+    rng: np.random.Generator,
+    t: float,
+    region: str,
+    vm_ids: list[str],
+    peer_regions: list[str],
+    outage_s: float,
+    jitter_s: float,
+) -> FaultPlan:
+    """Fail an entire region: all its VMs and all its links, together.
+
+    Each element goes down at ``t + U(0, jitter)`` and comes back after
+    ``outage + U(0, jitter)`` — correlated like a real zonal incident
+    (one blast radius, slightly ragged edges), not like independent
+    faults that happen to overlap. Links are cut in *both* directions
+    to every peer region, so nothing routes around the dead region
+    through a half-open pair.
+    """
+    if outage_s <= 0:
+        raise ValueError("outage_s must be positive")
+    if jitter_s < 0:
+        raise ValueError("jitter_s must be >= 0")
+    for vm_id in vm_ids:
+        start = t + float(rng.uniform(0.0, jitter_s)) if jitter_s else t
+        back = outage_s + (float(rng.uniform(0.0, jitter_s)) if jitter_s else 0.0)
+        plan.crash_vm(start, vm_id, restart_after=back)
+    for peer in peer_regions:
+        if peer == region:
+            continue
+        for src, dst in ((region, peer), (peer, region)):
+            start = t + float(rng.uniform(0.0, jitter_s)) if jitter_s else t
+            back = outage_s + (
+                float(rng.uniform(0.0, jitter_s)) if jitter_s else 0.0
+            )
+            plan.link_down(start, src, dst, duration=back)
+    return plan
+
+
+def slow_burn(
+    plan: FaultPlan,
+    rng: np.random.Generator,
+    t: float,
+    link: tuple[str, str],
+    ramp_s: float,
+    floor: float,
+    steps: int = 6,
+) -> FaultPlan:
+    """Gradually degrade a link's capacity to ``floor``, then recover.
+
+    Rendered as a staircase of ``LINK_FLAP`` events with descending
+    capacity scales. Each step's restore fires at 90% of the step
+    spacing — strictly *before* the next step applies — because the
+    injector's un-flap resets the scale to 1.0: a restore landing after
+    the next step would silently cancel it. The last step holds one
+    full spacing and its restore ends the burn.
+    """
+    if steps < 2:
+        raise ValueError("slow burn needs at least 2 steps")
+    if ramp_s <= 0:
+        raise ValueError("ramp_s must be positive")
+    spacing = ramp_s / steps
+    for i in range(steps):
+        frac = (i + 1) / steps
+        scale = round(1.0 - (1.0 - floor) * frac, 6)
+        duration = spacing if i == steps - 1 else 0.9 * spacing
+        plan.flap_link(t + i * spacing, link[0], link[1], scale, duration)
+    return plan
+
+
+def link_flap(
+    plan: FaultPlan,
+    rng: np.random.Generator,
+    t: float,
+    link: tuple[str, str],
+    scale_min: float,
+    scale_max: float,
+    mean_s: float,
+) -> FaultPlan:
+    """One capacity flap with a sampled severity and duration."""
+    scale = round(float(rng.uniform(scale_min, scale_max)), 6)
+    duration = round(float(rng.exponential(mean_s)) + 10.0, 6)
+    return plan.flap_link(t, link[0], link[1], scale, duration)
+
+
+def batch_window(
+    plan: FaultPlan,
+    rng: np.random.Generator,
+    t: float,
+    kind: str,
+    mean_s: float,
+    origin: str = "*",
+) -> FaultPlan:
+    """A duplicate- or drop-batch window of sampled length."""
+    duration = round(float(rng.exponential(mean_s)) + 10.0, 6)
+    probability = round(float(rng.uniform(0.3, 1.0)), 6)
+    if kind == "dup":
+        return plan.duplicate_batches(t, duration, origin, probability)
+    if kind == "drop":
+        return plan.drop_batches(t, duration, origin, probability)
+    raise ValueError(f"unknown batch window kind {kind!r}")
+
+
+def event_count(rng: np.random.Generator, per_day: float, hours: float) -> int:
+    """Poisson draw of how many events a ``per_day`` rate yields."""
+    if per_day <= 0 or hours <= 0:
+        return 0
+    return int(rng.poisson(per_day * hours / 24.0))
+
+
+__all__ = [
+    "batch_window",
+    "event_count",
+    "link_flap",
+    "regional_outage",
+    "slow_burn",
+]

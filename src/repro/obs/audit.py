@@ -107,6 +107,7 @@ class SLOAuditor:
         max_latency_s: float | None = None,
         max_usd_per_1k: float | None = None,
         check_interval: float = 5.0,
+        continuous_loss: bool = False,
     ) -> None:
         if check_interval <= 0:
             raise ValueError("check_interval must be positive")
@@ -115,14 +116,28 @@ class SLOAuditor:
         self.max_latency_s = max_latency_s
         self.max_usd_per_1k = max_usd_per_1k
         self.check_interval = check_interval
+        #: Check the loss *bound* every tick, not only the identity at
+        #: quiescence: mid-run, records still in flight are neither
+        #: counted nor explained, so ``lost == explained`` cannot hold —
+        #: but ``counted + explained <= ingested`` must (breaking it
+        #: means a record was double-counted or double-explained). Long
+        #: soaks arm this so an accounting bug surfaces at the audit
+        #: tick where it happens, days of virtual time before drain.
+        self.continuous_loss = continuous_loss
         self.violations: list[Violation] = []
         self.checks = 0
         self._task = None
         self._last_watermarks: dict[str, float] = {}
-        #: (start, end, key) triples already checked against the latency
-        #: SLO / already flagged as duplicates — results are re-scanned
-        #: every tick (the list is rebuilt by the runtime), so both
-        #: checks key on window identity, not list position.
+        #: Incremental result scan state. Results are scanned exactly
+        #: once each via a flat cursor (``results_since`` on real
+        #: runtimes, a list slice on anything exposing a plain
+        #: ``results``), so a multi-day soak pays O(new results) per
+        #: tick, not O(all results ever). ``_seen`` counts persist
+        #: across ticks — that is what makes the scan equivalent to the
+        #: old full re-scan.
+        self._cursor = 0
+        self._seen: dict[tuple, int] = {}
+        self._counted_records = 0
         self._latency_checked: set[tuple] = set()
         self._dup_flagged: set[tuple] = set()
         obs = engine.observer
@@ -169,6 +184,8 @@ class SLOAuditor:
         self.checks += 1
         self._check_watermarks()
         self._check_results()
+        if self.continuous_loss:
+            self._check_loss_bound()
 
     def _check_watermarks(self) -> None:
         for region, site in self.runtime.sites.items():
@@ -187,9 +204,28 @@ class SLOAuditor:
                 )
             self._last_watermarks[region] = wm
 
-    def _check_results(self) -> None:
-        seen: dict[tuple, int] = {}
-        for result in self.runtime.results:
+    def _new_results(self, include_uncommitted: bool = False) -> list:
+        """Results not yet scanned, advancing the flat cursor.
+
+        Real runtimes expose :meth:`GeoStreamRuntime.results_since`
+        (O(new), uncommitted excluded until the terminal sweep — a
+        crash discards and later re-derives them, which a persistent
+        counter would misread as duplicate emission). Stub runtimes
+        with a plain ``results`` list are sliced directly.
+        """
+        since = getattr(self.runtime, "results_since", None)
+        if since is not None:
+            new = since(self._cursor, include_uncommitted=include_uncommitted)
+        else:
+            results = self.runtime.results
+            new = results[self._cursor:] if self._cursor else list(results)
+        self._cursor += len(new)
+        return new
+
+    def _check_results(self, include_uncommitted: bool = False) -> None:
+        seen = self._seen
+        for result in self._new_results(include_uncommitted):
+            self._counted_records += getattr(result, "record_count", 0)
             ident = (result.window.start, result.window.end, result.key)
             seen[ident] = seen.get(ident, 0) + 1
             if seen[ident] > 1 and ident not in self._dup_flagged:
@@ -222,6 +258,41 @@ class SLOAuditor:
                     )
 
     # ------------------------------------------------------------------
+    def _loss_terms(self) -> tuple[int, int]:
+        """(ingested, explained) from the runtime's public counters."""
+        runtime = self.runtime
+        sites = list(runtime.sites.values())
+        shed = runtime.records_shed()
+        late_dropped = sum(site.aggregator.late_dropped for site in sites)
+        late_partial = getattr(runtime.aggregator, "late_partial_records", 0)
+        abandoned = sum(
+            getattr(site.shipping, "records_abandoned", 0) for site in sites
+        )
+        return runtime.records_ingested(), (
+            shed + late_dropped + late_partial + abandoned
+        )
+
+    def _check_loss_bound(self) -> None:
+        """Mid-run loss invariant: ``counted + explained <= ingested``.
+
+        ``counted`` uses the incrementally accumulated record count of
+        scanned (durable) results, so the check is O(1) per tick.
+        """
+        ingested, explained = self._loss_terms()
+        counted = self._counted_records
+        if counted + explained > ingested:
+            self._violate(
+                "loss_identity",
+                "runtime",
+                value=float(counted + explained),
+                limit=float(ingested),
+                detail=(
+                    f"counted {counted} + explained {explained} exceeds "
+                    f"ingested {ingested} mid-run (double-counted or "
+                    f"double-explained records)"
+                ),
+            )
+
     def _check_loss_identity(self) -> None:
         runtime = self.runtime
         ingested = runtime.records_ingested()
@@ -283,7 +354,15 @@ class SLOAuditor:
         flight are neither counted nor lost — the identity only holds
         once the pipe has drained).
         """
-        self.check_now()
+        self.checks += 1
+        self._check_watermarks()
+        # Terminal sweep includes still-uncommitted results: nothing can
+        # crash-discard them after this point, so scanning them once is
+        # safe and the exactly-once / latency checks cover every result
+        # the report will expose.
+        self._check_results(include_uncommitted=True)
+        if self.continuous_loss:
+            self._check_loss_bound()
         if quiescent:
             self._check_loss_identity()
         self._check_cost()

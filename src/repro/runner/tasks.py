@@ -80,12 +80,14 @@ def _ensure_builtin() -> None:
     # Imported lazily: the registry must be importable from a spawn
     # worker without dragging the whole scenario stack in at module
     # import time.
-    from repro.config import ChaosConfig, OverloadConfig
+    from repro.config import ChaosConfig, OverloadConfig, SoakConfig
     from repro.faults.scenario import run_chaos
     from repro.flow.scenario import run_overload
+    from repro.gen.soak import run_soak
 
     _REGISTRY.setdefault("chaos", (ChaosConfig, run_chaos))
     _REGISTRY.setdefault("overload", (OverloadConfig, run_overload))
+    _REGISTRY.setdefault("soak", (SoakConfig, run_soak))
 
 
 def _resolve_dotted(ref: str):

@@ -884,6 +884,61 @@ class GeoStreamRuntime:
             + self.aggregator.uncommitted
         )
 
+    def results_since(
+        self, start: int, include_uncommitted: bool = False
+    ) -> list[WindowResult]:
+        """Results appended at or after flat index ``start`` — O(new).
+
+        The durable sequence ``_delivered_results + aggregator.results``
+        is append-stable: a checkpoint commit *appends* uncommitted
+        results to ``aggregator.results`` and a crash *moves* them to
+        ``_delivered_results`` preserving order, so a flat cursor into
+        it never re-reads an already-seen result. ``uncommitted``
+        results are excluded by default because a crash discards them
+        (they are re-derived after replay — an incremental scanner that
+        had counted the discarded copies would then report phantom
+        duplicates); pass ``include_uncommitted`` only for a final scan
+        at quiescence. Continuous auditing over multi-day soaks relies
+        on this instead of rebuilding :attr:`results` every tick.
+        """
+        d = self._delivered_results
+        r = self.aggregator.results
+        nd, nr = len(d), len(r)
+        out: list[WindowResult] = []
+        if start < nd:
+            out.extend(d[start:] if start else d)
+            start = nd
+        if start < nd + nr:
+            out.extend(r[start - nd:])
+            start = nd + nr
+        if include_uncommitted:
+            u = self.aggregator.uncommitted
+            if start < nd + nr + len(u):
+                out.extend(u[start - nd - nr:])
+        return out
+
+    def in_pipe(self) -> int:
+        """Records still somewhere in the pipeline (0 == quiescent).
+
+        Counts every stage that can hold data: site ingest backlogs,
+        batcher buffers, shipping inflight/parked queues, and source
+        pending buffers — plus 1 while the aggregator is down (results
+        may still be trapped in retained batches awaiting replay).
+        Drain-to-quiescence loops poll this instead of re-deriving the
+        stage list themselves.
+        """
+        pending = 0
+        for site in self.sites.values():
+            pending += site.backlog
+            pending += site.batcher.buffered_count
+            pending += getattr(site.shipping, "inflight", 0)
+            pending += getattr(site.shipping, "parked", 0)
+            for src in site.spec.sources:
+                pending += src.pending_count
+        if not self._agg_up:
+            pending += 1
+        return pending
+
     def latency_stats(self) -> LatencyStats:
         return LatencyStats.from_results(self.results)
 

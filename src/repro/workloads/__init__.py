@@ -2,6 +2,7 @@
 
 from repro.workloads.abrain import ABrainConfig, ABrainWorkload
 from repro.workloads.clickstream import clickstream_job
+from repro.workloads.mixes import WORKLOAD_SHAPES, WorkloadShape
 from repro.workloads.sensors import sensor_fusion_job
 from repro.workloads.synthetic import (
     fresh_engine,
@@ -14,6 +15,8 @@ __all__ = [
     "ABrainWorkload",
     "clickstream_job",
     "sensor_fusion_job",
+    "WORKLOAD_SHAPES",
+    "WorkloadShape",
     "fresh_engine",
     "size_sweep",
     "standard_deployment",

@@ -1,0 +1,70 @@
+"""Workload shapes the scenario generator mixes per site.
+
+The hand-built workloads (clickstream, sensor fusion, A-Brain) each
+model one application. Generated soak scenarios run *heterogeneous
+mixes* — several shapes concurrently at one site, each with its own
+record size, key universe, and skew — because that is what a shared
+geo-analytics deployment actually ingests. A :class:`WorkloadShape` is
+the static part of a shape; the generator samples the dynamic part
+(rates, diurnal phase, flash crowds, drift) per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Static properties of one generated workload kind."""
+
+    name: str
+    #: Nominal record payload (bytes); drift wobbles around this.
+    record_bytes: float
+    #: Multiplier on the site's sampled base rate (clicks dominate
+    #: volume; A-Brain sends few large records).
+    rate_scale: float
+    #: Key namespace prefix (keys become ``{prefix}{i:03d}``).
+    key_prefix: str
+    #: Zipf-like skew exponent for key popularity (0 = uniform).
+    key_skew: float
+
+    def keys(self, n: int) -> list[str]:
+        return [f"{self.key_prefix}{i:03d}" for i in range(n)]
+
+    def key_weights(self, n: int) -> list[float] | None:
+        """Unnormalised zipf weights ``1/(rank+1)^skew`` (None if flat)."""
+        if self.key_skew <= 0.0:
+            return None
+        return [1.0 / (i + 1) ** self.key_skew for i in range(n)]
+
+
+#: The mix universe: clickstream (small, bursty, skewed keys), sensor
+#: telemetry (tiny, smooth, uniform), and A-Brain image partials (large,
+#: sparse, mildly skewed) — the three applications the repo models.
+WORKLOAD_SHAPES = (
+    WorkloadShape(
+        name="clicks",
+        record_bytes=400.0,
+        rate_scale=1.0,
+        key_prefix="/page/",
+        key_skew=1.1,
+    ),
+    WorkloadShape(
+        name="sensors",
+        record_bytes=120.0,
+        rate_scale=0.6,
+        key_prefix="sensor/",
+        key_skew=0.0,
+    ),
+    WorkloadShape(
+        name="abrain",
+        record_bytes=900.0,
+        rate_scale=0.25,
+        key_prefix="volume/",
+        key_skew=0.5,
+    ),
+)
+
+
+__all__ = ["WORKLOAD_SHAPES", "WorkloadShape"]

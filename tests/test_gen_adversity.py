@@ -1,0 +1,118 @@
+"""Generated adversity programs and the correlated-outage builder."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.gen.adversity import (
+    batch_window,
+    event_count,
+    link_flap,
+    regional_outage,
+    slow_burn,
+)
+
+
+def rng(seed=13):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+# ----------------------------------------------------------------------
+# Regional outage
+# ----------------------------------------------------------------------
+def test_regional_outage_covers_vms_and_both_link_directions():
+    plan = FaultPlan()
+    vms = ["vm-0001-neu", "vm-0002-neu", "vm-0003-neu"]
+    regional_outage(
+        plan, rng(), 100.0, "NEU", vms, ["WUS", "NUS"], 60.0, 5.0
+    )
+    crashes = [e for e in plan if e.kind == FaultKind.VM_CRASH]
+    downs = [e for e in plan if e.kind == FaultKind.LINK_DOWN]
+    assert {e.target for e in crashes} == set(vms)
+    # Both directions to every peer: nothing routes around the dead
+    # region through a half-open pair.
+    assert {e.target for e in downs} == {
+        "NEU->WUS", "WUS->NEU", "NEU->NUS", "NUS->NEU"
+    }
+    # Everything lands inside the jittered window, correlated like one
+    # zonal incident.
+    starts = [e.time for e in crashes + downs]
+    assert all(100.0 <= t <= 105.0 for t in starts)
+    restores = [e for e in plan if e.kind in (FaultKind.VM_RESTART, FaultKind.LINK_UP)]
+    assert all(160.0 <= e.time <= 170.0 for e in restores)
+
+
+def test_regional_outage_validates():
+    with pytest.raises(ValueError, match="outage_s"):
+        regional_outage(FaultPlan(), rng(), 0.0, "NEU", [], [], 0.0, 1.0)
+    with pytest.raises(ValueError, match="jitter_s"):
+        regional_outage(FaultPlan(), rng(), 0.0, "NEU", [], [], 10.0, -1.0)
+
+
+def test_regional_outage_skips_self_peer():
+    plan = regional_outage(
+        FaultPlan(), rng(), 0.0, "NEU", [], ["NEU", "NUS"], 30.0, 0.0
+    )
+    targets = {e.target for e in plan if e.kind == FaultKind.LINK_DOWN}
+    assert targets == {"NEU->NUS", "NUS->NEU"}
+
+
+# ----------------------------------------------------------------------
+# Slow burn
+# ----------------------------------------------------------------------
+def test_slow_burn_staircase_descends_and_never_overlaps():
+    plan = slow_burn(FaultPlan(), rng(), 50.0, ("NEU", "WUS"), 600.0, 0.4)
+    flaps = [e for e in plan if e.kind == FaultKind.LINK_FLAP]
+    assert len(flaps) == 6
+    scales = [e.param2 for e in flaps]
+    assert scales == sorted(scales, reverse=True)
+    assert scales[-1] == pytest.approx(0.4)
+    # Each step's restore fires strictly before the next step applies —
+    # the injector's un-flap resets to 1.0 and would otherwise cancel it.
+    for a, b in zip(flaps, flaps[1:]):
+        assert a.time + a.param < b.time
+
+
+def test_slow_burn_validates():
+    with pytest.raises(ValueError, match="steps"):
+        slow_burn(FaultPlan(), rng(), 0.0, ("A", "B"), 100.0, 0.5, steps=1)
+    with pytest.raises(ValueError, match="ramp_s"):
+        slow_burn(FaultPlan(), rng(), 0.0, ("A", "B"), 0.0, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Flaps, batch windows, event counts
+# ----------------------------------------------------------------------
+def test_link_flap_samples_within_bounds():
+    plan = link_flap(FaultPlan(), rng(), 10.0, ("NEU", "WUS"), 0.1, 0.5, 60.0)
+    (flap,) = list(plan)
+    assert flap.kind == FaultKind.LINK_FLAP
+    assert 0.1 <= flap.param2 <= 0.5
+    assert flap.param >= 10.0  # duration floor
+
+
+def test_batch_window_kinds():
+    dup = batch_window(FaultPlan(), rng(), 5.0, "dup", 30.0)
+    drop = batch_window(FaultPlan(), rng(), 5.0, "drop", 30.0)
+    assert list(dup)[0].kind == FaultKind.BATCH_DUP
+    assert list(drop)[0].kind == FaultKind.BATCH_DROP
+    with pytest.raises(ValueError, match="kind"):
+        batch_window(FaultPlan(), rng(), 5.0, "mangle", 30.0)
+
+
+def test_event_count_scales_with_rate_and_horizon():
+    assert event_count(rng(), 0.0, 48.0) == 0
+    assert event_count(rng(), 4.0, 0.0) == 0
+    counts = [event_count(rng(i), 4.0, 48.0) for i in range(50)]
+    assert np.mean(counts) == pytest.approx(8.0, rel=0.4)
+
+
+def test_plan_horizon_spans_windowed_faults():
+    plan = FaultPlan()
+    plan.crash_vm(10.0, "vm-1", restart_after=100.0)
+    assert plan.horizon() == 110.0
+    plan.flap_link(200.0, "NEU", "WUS", 0.5, 50.0)
+    assert plan.horizon() == 250.0
+    counts = plan.counts_by_kind()
+    assert counts[FaultKind.VM_CRASH] == 1
+    assert counts[FaultKind.LINK_FLAP] == 1

@@ -317,3 +317,58 @@ def test_slo_config_validation():
         ChaosConfig(slo_max_latency_s=-1.0)
     with pytest.raises(ValueError, match="slo_max_usd_per_1k"):
         OverloadConfig(slo_max_usd_per_1k=0.0)
+
+
+# ----------------------------------------------------------------------
+# Continuous loss bound + incremental scanning (the soak additions)
+# ----------------------------------------------------------------------
+def test_continuous_loss_bound_clean_mid_run(engine):
+    """Records still in flight break the *identity* but not the *bound*:
+    counted + explained <= ingested must hold at every tick."""
+    runtime = _StubRuntime()
+    runtime._ingested = 10
+    runtime.results.append(result(count=3))  # 7 in flight, nothing wrong
+    auditor = SLOAuditor(engine, runtime, continuous_loss=True)
+    auditor.check_now()
+    report = auditor.finish(quiescent=False)
+    assert report.clean
+
+
+def test_continuous_loss_bound_catches_overcounting(engine):
+    runtime = _StubRuntime()
+    runtime._ingested = 2
+    runtime.results.append(result(count=3))  # counted 3 > ingested 2
+    auditor = SLOAuditor(engine, runtime, continuous_loss=True)
+    auditor.check_now()
+    report = auditor.finish(quiescent=False)
+    assert not report.clean
+    kinds = [v.kind for v in report.violations]
+    assert "loss_identity" in kinds
+    assert "mid-run" in report.violations[0].detail
+
+
+def test_without_continuous_loss_bound_is_not_checked(engine):
+    runtime = _StubRuntime()
+    runtime._ingested = 2
+    runtime.results.append(result(count=3))
+    auditor = SLOAuditor(engine, runtime)
+    auditor.check_now()
+    report = auditor.finish(quiescent=False)
+    assert report.clean  # the bound is a soak opt-in
+
+
+def test_incremental_scan_persists_across_ticks(engine):
+    """The cursor advances per tick; duplicate (window, key) pairs are
+    still caught even when the two emissions land in different ticks."""
+    runtime = _StubRuntime()
+    runtime._ingested = 6
+    runtime.results.append(result(key="k"))
+    auditor = SLOAuditor(engine, runtime)
+    auditor.check_now()
+    assert not auditor.violations
+    runtime.results.append(result(key="k"))  # same slot, later tick
+    auditor.check_now()
+    assert [v.kind for v in auditor.violations] == ["duplicate_window"]
+    report = auditor.finish(quiescent=False)
+    # The final sweep does not re-scan: still exactly one violation.
+    assert len(report.violations) == 1
