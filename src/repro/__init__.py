@@ -27,10 +27,12 @@ implementation detail.
 
 from repro.api import (
     ChaosConfig,
+    ControlConfig,
     GenConfig,
     OverloadConfig,
     SageSession,
     ScenarioReport,
+    ServeConfig,
     SoakConfig,
     StreamReport,
     SweepReport,
@@ -41,6 +43,7 @@ from repro.api import (
     derive_seed,
     register_scenario,
     run_experiment,
+    run_serve,
     run_soak,
     run_sweep,
 )
@@ -50,11 +53,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ChaosConfig",
+    "ControlConfig",
     "GenConfig",
     "OverloadConfig",
     "SageEngine",
     "SageSession",
     "ScenarioReport",
+    "ServeConfig",
     "SoakConfig",
     "StreamReport",
     "SweepReport",
@@ -65,6 +70,7 @@ __all__ = [
     "derive_seed",
     "register_scenario",
     "run_experiment",
+    "run_serve",
     "run_soak",
     "run_sweep",
     "__version__",

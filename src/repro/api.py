@@ -25,14 +25,17 @@ from repro.config import (
     SOAK_PROFILES,
     BlobRelayConfig,
     ChaosConfig,
+    ControlConfig,
     DirectConfig,
     GenConfig,
     GridFtpConfig,
     OverloadConfig,
     ParallelStaticConfig,
+    ServeConfig,
     ShortestPathConfig,
     SoakConfig,
 )
+from repro.control.scenario import run_serve
 from repro.core.api import SageSession, TransferResult
 from repro.gen.soak import run_soak
 from repro.report import ScenarioReport, StreamReport
@@ -163,6 +166,7 @@ def run_sweep(
 __all__ = [
     "BlobRelayConfig",
     "ChaosConfig",
+    "ControlConfig",
     "DirectConfig",
     "GenConfig",
     "GridFtpConfig",
@@ -171,6 +175,7 @@ __all__ = [
     "SOAK_PROFILES",
     "SageSession",
     "ScenarioReport",
+    "ServeConfig",
     "ShortestPathConfig",
     "SoakConfig",
     "StreamReport",
@@ -184,6 +189,7 @@ __all__ = [
     "register_scenario",
     "registered_scenarios",
     "run_experiment",
+    "run_serve",
     "run_soak",
     "run_sweep",
 ]

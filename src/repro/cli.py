@@ -17,6 +17,8 @@ simulated cloud:
    $ sage overload --policy shed               # overload-recovery report
    $ sage audit --jsonl violations.jsonl       # strict SLO/invariant audit
    $ sage soak --hours 48 --seed 7             # generated adversarial soak
+   $ sage soak --hours 2 --failovers 5         # leader-failover chaos soak
+   $ sage serve --kill-leader-every 420        # resident service + failover
 
 (entry point: ``python -m repro.cli`` or the ``sage`` console script).
 """
@@ -353,6 +355,7 @@ def cmd_soak(args) -> int:
             seed=args.seed,
             hours=args.hours,
             profile=args.profile,
+            failovers=args.failovers,
             check_interval=args.check_interval,
             phase_hours=args.phase_hours,
             strict_slo=not args.no_strict,
@@ -380,6 +383,50 @@ def cmd_soak(args) -> int:
     if args.digest:
         # Bare digest on its own line: CI greps it to compare runs.
         print(report.digest)
+    return 0 if report.clean else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the resident-service scenario: lease failover + live config."""
+    import json
+
+    from repro.config import ServeConfig
+    from repro.control.scenario import run_serve
+
+    report = run_serve(
+        ServeConfig(
+            seed=args.seed,
+            duration=args.duration,
+            standby_regions=tuple(args.standbys.split(",")),
+            policy=args.policy,
+            kill_leader_every=args.kill_leader_every,
+            max_kills=args.max_kills,
+            reconfigure_at=args.reconfigure_at,
+            admission_rate=args.admission_rate,
+            lease_ttl=args.lease_ttl,
+            retry_budget=args.retry_budget,
+            strict_slo=not args.no_strict,
+            slo_max_latency_s=args.max_latency,
+            slo_max_usd_per_1k=args.max_usd_per_1k,
+        ),
+        observer=_scenario_observer(args),
+    )
+    print(report.describe())
+    if args.jsonl:
+        # Empty file on green — CI uploads it either way, so a missing
+        # artifact never aliases a clean run.
+        violations = report.audit.get("violations", [])
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            for v in violations:
+                fh.write(
+                    json.dumps({"scenario": "serve", **v}, sort_keys=True)
+                    + "\n"
+                )
+        print(f"violations: {len(violations)} -> {args.jsonl}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(report.canonical_json() + "\n")
+        print(f"report: -> {args.report_json}")
     return 0 if report.clean else 1
 
 
@@ -640,6 +687,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="generator intensity profile",
     )
     p.add_argument(
+        "--failovers",
+        type=int,
+        default=0,
+        help="arm the control plane with warm standbys and spread "
+        "exactly N unplanned leader kills across the middle of the "
+        "run (0: no control plane)",
+    )
+    p.add_argument(
         "--check-interval",
         type=float,
         default=30.0,
@@ -681,6 +736,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest",
         action="store_true",
         help="print the canonical result digest as the last line",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="resident service mode: leader-lease failover, live "
+        "reconfiguration, and admission control under audit",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        help="simulated seconds to serve",
+    )
+    p.add_argument(
+        "--kill-leader-every",
+        type=float,
+        default=420.0,
+        help="kill the current lease holder every N simulated seconds "
+        "(0: never); kills stop after 75%% of the run so the tail "
+        "drains",
+    )
+    p.add_argument(
+        "--max-kills",
+        type=int,
+        default=0,
+        help="cap scheduled kills (0: no cap beyond the time window)",
+    )
+    p.add_argument(
+        "--standbys",
+        default="EUS,SUS",
+        help="comma-separated warm-standby regions in promotion "
+        "priority order",
+    )
+    p.add_argument(
+        "--policy",
+        choices=("block", "shed", "degrade"),
+        default="block",
+        help="overload policy of the serving pipeline",
+    )
+    p.add_argument(
+        "--reconfigure-at",
+        type=float,
+        default=600.0,
+        help="apply the scripted live reconfiguration at this "
+        "simulated time (0: none)",
+    )
+    p.add_argument(
+        "--admission-rate",
+        type=float,
+        default=0.0,
+        help="per-site token-bucket admission rate in records/s "
+        "(0: gate off)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        help="leader lease TTL in simulated seconds",
+    )
+    p.add_argument(
+        "--retry-budget",
+        type=int,
+        default=0,
+        help="cap concurrent shipping retries across all links (0: off)",
+    )
+    p.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="report SLO violations without failing the command",
+    )
+    p.add_argument(
+        "--max-latency",
+        type=float,
+        help="per-window end-to-end latency SLO in seconds",
+    )
+    p.add_argument(
+        "--max-usd-per-1k",
+        type=float,
+        help="cost SLO: attributed $ per 1000 ingested records",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the violation log (JSONL; empty file when clean)",
+    )
+    p.add_argument(
+        "--report-json",
+        metavar="PATH",
+        help="write the canonical ServeReport JSON to PATH",
     )
 
     p = sub.add_parser(
@@ -775,6 +919,7 @@ _COMMANDS = {
     "overload": cmd_overload,
     "audit": cmd_audit,
     "soak": cmd_soak,
+    "serve": cmd_serve,
     "perf": cmd_perf,
     "dashboard": cmd_dashboard,
     "sweep": cmd_sweep,

@@ -207,6 +207,10 @@ class GenConfig(ConfigBase):
     dup_windows_per_day: float = 3.0
     drop_windows_per_day: float = 3.0
     batch_window_mean_s: float = 120.0
+    #: Unplanned global-aggregator (leader) kills per simulated day.
+    #: Only effective when a control plane is armed — without one the
+    #: emitted ``leader.kill`` events are recorded but change nothing.
+    leader_kills_per_day: float = 0.0
     # -- job shape ------------------------------------------------------
     window_s: float = 30.0
 
@@ -232,7 +236,8 @@ class GenConfig(ConfigBase):
         if not 0.0 < self.flap_scale_min <= self.flap_scale_max <= 1.0:
             raise ValueError("flap_scale bounds must satisfy 0 < min <= max <= 1")
         for name in ("outages_per_day", "flaps_per_day", "slow_burns_per_day",
-                     "dup_windows_per_day", "drop_windows_per_day"):
+                     "dup_windows_per_day", "drop_windows_per_day",
+                     "leader_kills_per_day"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
 
@@ -265,6 +270,11 @@ class SoakConfig(ConfigBase):
     max_backlog: int = 20_000
     delivery_timeout: float = 15.0
     max_retries: int = 10
+    #: Unplanned leader (global aggregator) kills injected over the run.
+    #: ``> 0`` arms the control plane: checkpointing is forced on, warm
+    #: standbys are provisioned, and exactly this many ``leader.kill``
+    #: events are spread deterministically across the middle of the run.
+    failovers: int = 0
     #: When set, any auditor violation fails the scenario (soaks are
     #: strict by default — that is their whole point).
     strict_slo: bool = True
@@ -292,10 +302,161 @@ class SoakConfig(ConfigBase):
             raise ValueError("max_backlog must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.failovers < 0:
+            raise ValueError("failovers must be >= 0")
         if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
             raise ValueError("slo_max_latency_s must be positive")
         if self.slo_max_usd_per_1k is not None and self.slo_max_usd_per_1k <= 0:
             raise ValueError("slo_max_usd_per_1k must be positive")
+
+
+# ----------------------------------------------------------------------
+# Control plane configurations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ControlConfig(ConfigBase):
+    """Knobs of the :class:`repro.control.ControlPlane`.
+
+    All intervals are virtual seconds. The worst-case failover MTTR the
+    plane promises (and the auditor enforces) is :attr:`mttr_bound`:
+    after an unplanned leader death the lease takes at most
+    ``lease_ttl`` to expire, the standby watcher notices within
+    ``watch_interval``, and promotion costs ``promotion_delay`` plus —
+    only when the standby's shipped-checkpoint cache is stale —
+    ``cold_fetch_delay`` to pull the latest snapshot from the store.
+    """
+
+    #: Leader lease time-to-live. Renewal stops the instant the leader
+    #: dies, so this bounds how long a dead leader can hold the lease.
+    lease_ttl: float = 10.0
+    #: How often the live leader renews its lease.
+    renew_interval: float = 2.0
+    #: How often standbys check the lease for expiry.
+    watch_interval: float = 2.0
+    #: Simulated latency of shipping one checkpoint to a standby.
+    sync_delay: float = 1.0
+    #: Standby boot-to-serving time once it wins the lease.
+    promotion_delay: float = 2.0
+    #: Extra promotion cost when the winning standby's checkpoint cache
+    #: lags the durable store (it must fetch before serving).
+    cold_fetch_delay: float = 5.0
+    #: Delay before a killed leader's VM rejoins the pool as a standby.
+    respawn_delay: float = 120.0
+    #: Token-bucket admission rate per site in records/s (0 = gate off).
+    admission_rate: float = 0.0
+    #: Burst tolerance of the admission bucket, in seconds of rate.
+    admission_burst_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("lease_ttl", "renew_interval", "watch_interval",
+                     "promotion_delay"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("sync_delay", "cold_fetch_delay", "respawn_delay",
+                     "admission_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.renew_interval >= self.lease_ttl:
+            raise ValueError("renew_interval must be < lease_ttl")
+        if self.admission_burst_s <= 0:
+            raise ValueError("admission_burst_s must be positive")
+
+    @property
+    def mttr_bound(self) -> float:
+        """Worst-case unplanned-failover recovery time the plane promises."""
+        return (self.lease_ttl + self.watch_interval
+                + self.promotion_delay + self.cold_fetch_delay)
+
+
+@dataclass(frozen=True)
+class ServeConfig(ConfigBase):
+    """Configuration of the resident-service scenario (``sage serve``).
+
+    A long-lived session with the control plane armed: warm standbys
+    follow the leader, the leader is killed on a schedule, a scripted
+    live reconfiguration lands mid-run, and the continuous auditor
+    checks split-brain / MTTR / exactly-once invariants throughout.
+    """
+
+    seed: int = 2013
+    duration: float = 1800.0
+    site_regions: tuple[str, ...] = ("NEU", "WEU")
+    aggregation_region: str = "NUS"
+    #: Regions hosting warm standby aggregators, in promotion priority
+    #: order (first = highest priority).
+    standby_regions: tuple[str, ...] = ("EUS", "SUS")
+    base_rate: float = 60.0
+    policy: str = "block"
+    max_backlog: int = 5000
+    checkpoint_interval: float = 10.0
+    #: Kill the current leader every this many seconds (0 = never).
+    #: Kills stop after ``0.75 * duration`` so the tail can drain.
+    kill_leader_every: float = 420.0
+    #: Hard cap on scheduled kills (0 = no cap beyond the time window).
+    max_kills: int = 0
+    #: Virtual time of the scripted live reconfiguration (0 = none).
+    reconfigure_at: float = 600.0
+    #: Per-site token-bucket admission rate in records/s (0 = gate off).
+    admission_rate: float = 0.0
+    admission_burst_s: float = 2.0
+    lease_ttl: float = 10.0
+    promotion_delay: float = 2.0
+    respawn_delay: float = 120.0
+    delivery_timeout: float = 15.0
+    max_retries: int = 8
+    #: Cap on concurrent retry attempts across all site links (0 = off).
+    retry_budget: int = 0
+    strict_slo: bool = True
+    slo_max_latency_s: float | None = None
+    slo_max_usd_per_1k: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.site_regions:
+            raise ValueError("site_regions must be non-empty")
+        if not self.standby_regions:
+            raise ValueError("standby_regions must be non-empty")
+        overlap = (set(self.standby_regions)
+                   & (set(self.site_regions) | {self.aggregation_region}))
+        if overlap:
+            raise ValueError(
+                f"standby_regions must not overlap sites/aggregation: {sorted(overlap)}"
+            )
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if self.policy not in ("block", "shed", "degrade"):
+            raise ValueError("policy must be block, shed, or degrade")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        for name in ("kill_leader_every", "reconfigure_at", "admission_rate",
+                     "respawn_delay"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_kills < 0:
+            raise ValueError("max_kills must be >= 0")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.lease_ttl <= 0 or self.promotion_delay <= 0:
+            raise ValueError("lease_ttl and promotion_delay must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
+            raise ValueError("slo_max_latency_s must be positive")
+        if self.slo_max_usd_per_1k is not None and self.slo_max_usd_per_1k <= 0:
+            raise ValueError("slo_max_usd_per_1k must be positive")
+
+    def control(self) -> ControlConfig:
+        """Derive the control-plane knob set from the scenario knobs."""
+        return ControlConfig(
+            lease_ttl=self.lease_ttl,
+            promotion_delay=self.promotion_delay,
+            respawn_delay=self.respawn_delay,
+            admission_rate=self.admission_rate,
+            admission_burst_s=self.admission_burst_s,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""``repro.control`` — the resident-service control plane.
+
+Leader lease + standby promotion (:mod:`repro.control.lease`,
+:mod:`repro.control.plane`), ingress admission control
+(:mod:`repro.control.admission`), and the scripted service scenario
+behind ``sage serve`` (:mod:`repro.control.scenario`).
+"""
+
+from repro.control.admission import AdmissionGate
+from repro.control.lease import LeaderLease
+from repro.control.plane import (
+    APPLY_KEYS,
+    ControlPlane,
+    FailoverEvent,
+    Replica,
+)
+from repro.control.scenario import ServeResult, run_serve
+
+__all__ = [
+    "APPLY_KEYS",
+    "AdmissionGate",
+    "ControlPlane",
+    "FailoverEvent",
+    "LeaderLease",
+    "Replica",
+    "ServeResult",
+    "run_serve",
+]

@@ -1,0 +1,96 @@
+"""The leader lease: one renewable term at a time, on the virtual clock.
+
+A :class:`LeaderLease` is the single source of truth for who may act as
+the global aggregator. The holder renews before the TTL runs out; a
+holder that dies simply stops renewing, and once ``now`` passes
+``expires_at`` the lease is free for the highest-priority live standby
+to claim with :meth:`try_acquire` — a compare-and-swap that either
+starts a new *epoch* or refuses. Two properties follow directly:
+
+* **No split brain.** ``try_acquire`` refuses while a different holder's
+  term is still live, so at any virtual instant at most one name holds
+  the lease. (The auditor additionally checks the plane's replica roles,
+  which is where a buggy promotion *would* diverge from the lease.)
+* **Bounded failover detection.** A dead leader holds the lease at most
+  ``ttl`` seconds past its last renewal — the first term in the control
+  plane's MTTR bound.
+
+Epochs are monotone and every transition is recorded, so audits and
+reports can attribute each emitted window to exactly one leadership
+term.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class LeaderLease:
+    """A renewable single-holder lease driven by the simulation clock."""
+
+    def __init__(self, sim, ttl: float) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.sim = sim
+        self.ttl = ttl
+        #: Monotone term counter; bumped by every successful new acquire.
+        self.epoch = 0
+        #: Name of the last holder (kept after expiry, for history).
+        self.holder_name: str | None = None
+        self.expires_at = -math.inf
+        self.renewals = 0
+        #: ``{"t", "epoch", "holder"}`` per term start, in order.
+        self.transitions: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def holder(self) -> str | None:
+        """The current *live* holder, or ``None`` if free/expired."""
+        if self.holder_name is not None and self.sim.now < self.expires_at:
+            return self.holder_name
+        return None
+
+    @property
+    def remaining(self) -> float:
+        """Seconds until the current term expires (0 if already free)."""
+        return max(0.0, self.expires_at - self.sim.now)
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, name: str) -> int | None:
+        """Claim the lease; returns the epoch, or ``None`` if refused.
+
+        Succeeds only when the lease is free, expired, or already held
+        by ``name``. A fresh claim (different holder, or the same holder
+        after an expiry) starts a new epoch; extending a live own term
+        does not.
+        """
+        current = self.holder()
+        if current is not None and current != name:
+            return None
+        if current is None:
+            self.epoch += 1
+            self.transitions.append(
+                {"t": self.sim.now, "epoch": self.epoch, "holder": name}
+            )
+        self.holder_name = name
+        self.expires_at = self.sim.now + self.ttl
+        return self.epoch
+
+    def renew(self, name: str) -> bool:
+        """Extend a *live* own term. An expired term cannot be renewed —
+        the holder must go back through :meth:`try_acquire` (and get a
+        new epoch), because another replica may have held in between."""
+        if self.holder_name != name or self.sim.now >= self.expires_at:
+            return False
+        self.expires_at = self.sim.now + self.ttl
+        self.renewals += 1
+        return True
+
+    def release(self, name: str) -> bool:
+        """Voluntarily lapse the term now (planned step-down)."""
+        if self.holder_name != name or self.holder() is None:
+            return False
+        self.expires_at = self.sim.now
+        return True
+
+
+__all__ = ["LeaderLease"]

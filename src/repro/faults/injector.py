@@ -149,6 +149,13 @@ class FaultInjector:
                     event.param2 or 1.0,
                 )
             )
+        elif kind == FaultKind.LEADER_KILL:
+            # No direct environment mutation: the emit below carries the
+            # event onto the fault bus, where an armed ControlPlane kills
+            # whichever replica currently holds the lease and drives the
+            # standby promotion. Without a control plane the event is a
+            # recorded no-op by design.
+            pass
         self._record(kind, event.target, event.param)
         self._emit(event)
 

@@ -26,10 +26,11 @@ class FaultKind:
     PARTITION_HEAL = "partition.heal"
     BATCH_DROP = "batch.drop"
     BATCH_DUP = "batch.dup"
+    LEADER_KILL = "leader.kill"
 
     ALL = (
         VM_CRASH, VM_RESTART, LINK_DOWN, LINK_UP, LINK_FLAP,
-        PARTITION, PARTITION_HEAL, BATCH_DROP, BATCH_DUP,
+        PARTITION, PARTITION_HEAL, BATCH_DROP, BATCH_DUP, LEADER_KILL,
     )
 
 
@@ -179,6 +180,22 @@ class FaultPlan:
             FaultKind.BATCH_DUP, time, duration, origin, probability
         )
 
+    def kill_leader(self, time: float, recovery: float = 0.0) -> "FaultPlan":
+        """Kill whichever aggregator currently holds the leader lease.
+
+        The injector records and emits the event on the fault bus; an
+        armed :class:`repro.control.ControlPlane` performs the actual
+        kill and the subsequent standby promotion. ``recovery`` is the
+        expected kill-to-respawn window (MTTR bound + respawn delay) —
+        it widens :meth:`horizon` so runners drain after the plane has
+        fully recovered, exactly like other windowed faults.
+        """
+        if recovery < 0:
+            raise ValueError("recovery must be >= 0")
+        return self.add(
+            FaultEvent(time, FaultKind.LEADER_KILL, "leader", recovery)
+        )
+
     def _batch_window(
         self, kind: str, time: float, duration: float, origin: str, p: float
     ) -> "FaultPlan":
@@ -241,7 +258,8 @@ class FaultPlan:
         simulation alive past this point before draining.
         """
         end = 0.0
-        windowed = (FaultKind.LINK_FLAP, FaultKind.BATCH_DROP, FaultKind.BATCH_DUP)
+        windowed = (FaultKind.LINK_FLAP, FaultKind.BATCH_DROP,
+                    FaultKind.BATCH_DUP, FaultKind.LEADER_KILL)
         for e in self.events:
             e_end = e.time + (e.param if e.kind in windowed else 0.0)
             end = max(end, e_end)

@@ -27,8 +27,23 @@ class CheckpointStore:
     def __init__(self) -> None:
         self._blobs: dict[str, str] = {}
         self._saved_at: dict[str, float] = {}
+        self._seq: dict[str, int] = {}
+        self._on_save: list[Callable[[str, int, float], None]] = []
         self.saves = 0
         self.loads = 0
+
+    def on_save(self, cb: Callable[[str, int, float], None]) -> None:
+        """Subscribe ``cb(name, seq, now)`` to every successful save.
+
+        The control plane uses this to ship fresh aggregator snapshots
+        to warm standbys; anything else that wants write-through
+        replication of the store can ride the same hook.
+        """
+        self._on_save.append(cb)
+
+    def seq(self, name: str) -> int:
+        """Monotonic save counter for ``name`` (0 if never saved)."""
+        return self._seq.get(name, 0)
 
     def save(self, name: str, payload: dict[str, Any], now: float = 0.0) -> int:
         """Serialize and store ``payload``; returns its size in bytes.
@@ -40,7 +55,10 @@ class CheckpointStore:
         blob = json.dumps(payload, separators=(",", ":"))
         self._blobs[name] = blob
         self._saved_at[name] = now
+        self._seq[name] = self._seq.get(name, 0) + 1
         self.saves += 1
+        for cb in self._on_save:
+            cb(name, self._seq[name], now)
         return len(blob)
 
     def load(self, name: str) -> dict[str, Any] | None:

@@ -292,6 +292,19 @@ class ScenarioGenerator:
         for _ in range(event_count(rng, cfg.drop_windows_per_day, scn.hours)):
             t = float(rng.uniform(t_lo, t_hi))
             batch_window(plan, rng, t, "drop", cfg.batch_window_mean_s)
+
+        # Leader kills are the one sanctioned aggregator-side adversity:
+        # they do not take the region down whole — an armed control
+        # plane fails over to a warm standby, which is exactly what the
+        # event exists to exercise. Without a control plane the events
+        # are recorded no-ops.
+        if cfg.leader_kills_per_day > 0:
+            rng = self._rng("adversity", "leader")
+            for _ in range(
+                event_count(rng, cfg.leader_kills_per_day, scn.hours)
+            ):
+                t = float(rng.uniform(t_lo, t_hi))
+                plan.kill_leader(t, recovery=max_outage)
         return plan
 
 

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 
 from repro.cloud.deployment import CloudEnvironment
-from repro.config import SoakConfig, resolve_config
+from repro.config import ControlConfig, SoakConfig, resolve_config
+from repro.control.plane import ControlPlane
 from repro.core.engine import SageEngine
 from repro.faults.injector import FaultInjector
 from repro.flow.policy import FlowConfig
@@ -54,6 +55,13 @@ class SoakResult:
     abandoned_records: int = 0
     duplicates_dropped: int = 0
     retries: int = 0
+    #: Control-plane rollups (all zero when ``failovers`` is unarmed).
+    failovers: int = 0
+    failover_mttr_max: float = 0.0
+    epochs: int = 0
+    standby_syncs: int = 0
+    admission_rejected: int = 0
+    retry_budget_exhausted: int = 0
     backlog_peaks: dict[str, int] = field(default_factory=dict)
     max_deferred: int = 0
     checkpoints: int = 0
@@ -81,6 +89,7 @@ class SoakResult:
             + self.late_dropped
             + self.late_partial_records
             + self.abandoned_records
+            + self.admission_rejected
         )
 
     @property
@@ -127,6 +136,14 @@ class SoakResult:
                 + ")"
                 if self.fault_counts
                 else "(none)"
+            ),
+            (
+                f"failovers: {self.failovers} "
+                f"(MTTR max {self.failover_mttr_max:.1f}s, "
+                f"final epoch {self.epochs}, "
+                f"{self.standby_syncs} standby syncs)"
+                if self.failovers
+                else "failovers: none (control plane unarmed)"
             ),
             f"backlog peaks: {peaks or '-'}; "
             f"peak source deferral {self.max_deferred}",
@@ -194,6 +211,30 @@ class SoakRunner:
         return [(i * width, (i + 1) * width) for i in range(n)]
 
     # ------------------------------------------------------------------
+    def _schedule_kills(self, plan, plane) -> None:
+        """Spread exactly N unplanned leader kills across the middle.
+
+        Kills are evenly spaced over ``[15%, 70%]`` of the horizon — the
+        same deterministic-event window the generated adversity uses —
+        and must be at least one full recovery (MTTR bound + respawn
+        delay + margin) apart, so every kill hits a settled plane with a
+        live leader and the run measures N independent failovers.
+        """
+        n = self.config.failovers
+        horizon = self.scenario.horizon_s
+        recovery = plane.config.mttr_bound + plane.config.respawn_delay
+        lo, hi = 0.15 * horizon, 0.70 * horizon
+        step = (hi - lo) / (n - 1) if n > 1 else 0.0
+        if n > 1 and step < recovery + 60.0:
+            raise ValueError(
+                f"{n} failovers need at least "
+                f"{(recovery + 60.0) * (n - 1) / 0.55 / 3600.0:.2f} soak "
+                f"hours to keep kills a full recovery apart"
+            )
+        for i in range(n):
+            plan.kill_leader(lo + i * step, recovery=recovery)
+
+    # ------------------------------------------------------------------
     def run(self) -> ScenarioReport:
         cfg = self.config
         scn = self.scenario
@@ -255,10 +296,26 @@ class SoakRunner:
             engine, job, factory, per_vm_records_per_s=per_vm
         )
         store = None
-        if cfg.checkpoint_interval > 0:
+        # Failover soaks need the exactly-once substrate even when the
+        # config left checkpointing off.
+        checkpoint_interval = cfg.checkpoint_interval
+        if cfg.failovers > 0 and checkpoint_interval <= 0:
+            checkpoint_interval = 30.0
+        if checkpoint_interval > 0:
             store = runtime.enable_checkpointing(
-                interval=cfg.checkpoint_interval
+                interval=checkpoint_interval
             ).store
+        plane = None
+        if cfg.failovers > 0:
+            # Standbys co-locate with the first two site regions (each
+            # has >= 2 VMs; the standby takes the last one), so the
+            # generated layout needs no extra regions and a promotion
+            # exercises the site->local-aggregator handover path too.
+            plane = ControlPlane(engine, runtime, ControlConfig())
+            plane.add_leader()
+            for region in scn.site_regions[:2]:
+                plane.add_standby(region)
+            plane.start()
         auditor = SLOAuditor(
             engine,
             runtime,
@@ -266,13 +323,18 @@ class SoakRunner:
             max_usd_per_1k=cfg.slo_max_usd_per_1k,
             check_interval=cfg.check_interval,
             continuous_loss=True,
+            control=plane,
         ).start()
+        if plane is not None:
+            plane.auditor = auditor
 
         vm_ids = {
             region: [vm.vm_id for vm in engine.deployment.vms(region)]
             for region in scn.site_regions
         }
         plan = self.generator.adversity(scn, vm_ids)
+        if plane is not None:
+            self._schedule_kills(plan, plane)
         injector = FaultInjector(engine, plan, observer=self.observer).arm()
 
         t0 = engine.sim.now
@@ -302,6 +364,8 @@ class SoakRunner:
         drained = runtime.in_pipe() == 0
         engine.run_until(engine.sim.now + job.watermark_lag + 30.0)
         runtime.stop()
+        if plane is not None:
+            plane.stop()
         engine.run_until(engine.sim.now + job.finalize_grace + 60.0)
         engine.env.finalize()
 
@@ -359,6 +423,16 @@ class SoakRunner:
             abandoned_records=sum(b.records_abandoned for b in backends),
             duplicates_dropped=agg.duplicates_dropped,
             retries=sum(b.retries for b in backends),
+            failovers=len(plane.failovers) if plane is not None else 0,
+            failover_mttr_max=(
+                plane.mttr_stats()["mttr_max"] if plane is not None else 0.0
+            ),
+            epochs=plane.lease.epoch if plane is not None else 0,
+            standby_syncs=plane.standby_syncs if plane is not None else 0,
+            admission_rejected=runtime.records_admission_rejected(),
+            retry_budget_exhausted=sum(
+                getattr(b, "retry_budget_exhausted", 0) for b in backends
+            ),
             backlog_peaks={s.spec.region: s.max_backlog for s in sites},
             max_deferred=sum(src.max_deferred for src in sources),
             checkpoints=store.saves if store is not None else 0,

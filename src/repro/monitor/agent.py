@@ -59,6 +59,30 @@ class MonitorConfig(ConfigBase):
     #: Heartbeat silence after which a VM is suspected dead.
     failure_timeout: float = 15.0
 
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.probe_size <= 0:
+            raise ValueError("probe_size must be positive")
+        if self.probe_streams < 1:
+            raise ValueError("probe_streams must be >= 1")
+        if not 0.0 < self.cpu_threshold <= 1.0:
+            raise ValueError("cpu_threshold must be in (0, 1]")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.failure_timeout < self.heartbeat_interval:
+            raise ValueError(
+                "failure_timeout must be >= heartbeat_interval — a timeout "
+                "shorter than one heartbeat period suspects every VM"
+            )
+
+    @property
+    def detection_bound(self) -> float:
+        """Worst-case failure-detection latency: a VM that dies right
+        after heartbeating is suspected at most one heartbeat period
+        plus the timeout later. Failover MTTR experiments sweep this."""
+        return self.failure_timeout + self.heartbeat_interval
+
 
 class MonitoringAgent:
     """Periodically samples the environment and maintains the link map."""

@@ -35,6 +35,8 @@ AUDIT_KINDS = (
     "watermark_regression",
     "duplicate_window",
     "latency_slo",
+    "split_brain",
+    "failover_mttr",
     "loss_identity",
     "cost_slo",
 )
@@ -108,6 +110,7 @@ class SLOAuditor:
         max_usd_per_1k: float | None = None,
         check_interval: float = 5.0,
         continuous_loss: bool = False,
+        control=None,
     ) -> None:
         if check_interval <= 0:
             raise ValueError("check_interval must be positive")
@@ -124,6 +127,12 @@ class SLOAuditor:
         #: soaks arm this so an accounting bug surfaces at the audit
         #: tick where it happens, days of virtual time before drain.
         self.continuous_loss = continuous_loss
+        #: Optional :class:`repro.control.ControlPlane`. When set, every
+        #: tick also checks the split-brain invariant (never two live
+        #: leader replicas at once) and each completed failover's MTTR
+        #: against the plane's configured bound.
+        self.control = control
+        self._failover_cursor = 0
         self.violations: list[Violation] = []
         self.checks = 0
         self._task = None
@@ -184,6 +193,8 @@ class SLOAuditor:
         self.checks += 1
         self._check_watermarks()
         self._check_results()
+        if self.control is not None:
+            self._check_control()
         if self.continuous_loss:
             self._check_loss_bound()
 
@@ -258,6 +269,44 @@ class SLOAuditor:
                     )
 
     # ------------------------------------------------------------------
+    def _check_control(self) -> None:
+        """Control-plane invariants: split brain and failover MTTR.
+
+        Split brain — at no audit tick may two live replicas act as
+        leader simultaneously. MTTR — every completed failover must have
+        recovered within the plane's configured ``mttr_bound``; a cursor
+        keeps each failover checked exactly once.
+        """
+        leaders = self.control.active_leaders()
+        if len(leaders) > 1:
+            self._violate(
+                "split_brain",
+                ",".join(sorted(leaders)),
+                value=float(len(leaders)),
+                limit=1.0,
+                detail=(
+                    f"{len(leaders)} live leader replicas at once: "
+                    + ", ".join(sorted(leaders))
+                ),
+            )
+        bound = self.control.config.mttr_bound
+        failovers = self.control.failovers
+        for event in failovers[self._failover_cursor:]:
+            if event.mttr > bound + 1e-9:
+                self._violate(
+                    "failover_mttr",
+                    event.new_leader,
+                    value=event.mttr,
+                    limit=bound,
+                    detail=(
+                        f"failover to {event.new_leader} (epoch "
+                        f"{event.epoch}) took {event.mttr:.1f}s, bound "
+                        f"{bound:.1f}s"
+                    ),
+                )
+        self._failover_cursor = len(failovers)
+
+    # ------------------------------------------------------------------
     def _loss_terms(self) -> tuple[int, int]:
         """(ingested, explained) from the runtime's public counters."""
         runtime = self.runtime
@@ -268,8 +317,11 @@ class SLOAuditor:
         abandoned = sum(
             getattr(site.shipping, "records_abandoned", 0) for site in sites
         )
+        admission = getattr(runtime, "records_admission_rejected", None)
+        admission_rejected = admission() if admission is not None else 0
         return runtime.records_ingested(), (
             shed + late_dropped + late_partial + abandoned
+            + admission_rejected
         )
 
     def _check_loss_bound(self) -> None:
@@ -307,7 +359,11 @@ class SLOAuditor:
         abandoned = sum(
             getattr(site.shipping, "records_abandoned", 0) for site in sites
         )
-        explained = shed + late_dropped + late_partial + abandoned
+        admission_fn = getattr(runtime, "records_admission_rejected", None)
+        admission = admission_fn() if admission_fn is not None else 0
+        explained = (
+            shed + late_dropped + late_partial + abandoned + admission
+        )
         if lost != explained:
             self._violate(
                 "loss_identity",
@@ -317,7 +373,8 @@ class SLOAuditor:
                 detail=(
                     f"lost {lost} != explained {explained} "
                     f"(shed {shed} + late_dropped {late_dropped} + "
-                    f"late_partial {late_partial} + abandoned {abandoned})"
+                    f"late_partial {late_partial} + abandoned {abandoned} + "
+                    f"admission_rejected {admission})"
                 ),
             )
 
@@ -361,6 +418,8 @@ class SLOAuditor:
         # safe and the exactly-once / latency checks cover every result
         # the report will expose.
         self._check_results(include_uncommitted=True)
+        if self.control is not None:
+            self._check_control()
         if self.continuous_loss:
             self._check_loss_bound()
         if quiescent:

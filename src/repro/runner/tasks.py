@@ -80,7 +80,13 @@ def _ensure_builtin() -> None:
     # Imported lazily: the registry must be importable from a spawn
     # worker without dragging the whole scenario stack in at module
     # import time.
-    from repro.config import ChaosConfig, OverloadConfig, SoakConfig
+    from repro.config import (
+        ChaosConfig,
+        OverloadConfig,
+        ServeConfig,
+        SoakConfig,
+    )
+    from repro.control.scenario import run_serve
     from repro.faults.scenario import run_chaos
     from repro.flow.scenario import run_overload
     from repro.gen.soak import run_soak
@@ -88,6 +94,7 @@ def _ensure_builtin() -> None:
     _REGISTRY.setdefault("chaos", (ChaosConfig, run_chaos))
     _REGISTRY.setdefault("overload", (OverloadConfig, run_overload))
     _REGISTRY.setdefault("soak", (SoakConfig, run_soak))
+    _REGISTRY.setdefault("serve", (ServeConfig, run_serve))
 
 
 def _resolve_dotted(ref: str):

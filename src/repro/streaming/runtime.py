@@ -51,6 +51,14 @@ class WindowResult:
     #: result, with per-hop timings); ``None`` only for results built
     #: before lineage existed or by hand in tests.
     lineage: WindowLineage | None = None
+    #: Leader-lease epoch the emitting aggregator served under (0 when
+    #: no control plane is armed). The split-brain/exactly-once audit
+    #: uses it to attribute every window to one leadership term.
+    epoch: int = 0
+    #: Control-plane config version active at emission (0 = the boot
+    #: config). Lets the auditor attribute each window to the exact
+    #: configuration it ran under across live reconfigurations.
+    config_version: int = 0
 
     @property
     def latency(self) -> float:
@@ -153,6 +161,11 @@ class SiteRuntime:
         #: by the runtime when checkpointing is on, pruned per checkpoint.
         self.retain_batches = False
         self._retained: dict[int, Batch] = {}
+        #: Optional ingress admission gate (token bucket) installed by
+        #: the control plane; rejects records at the door *before* the
+        #: overload policy spends pipeline resources on them.
+        self.admission = None
+        self.records_admission_rejected = 0
         self._task = None
         obs = engine.observer
         self._obs_on = obs.enabled
@@ -184,6 +197,7 @@ class SiteRuntime:
         )
         self._m_backlog_peak = obs.gauge("stream_backlog_peak", site=site)
         self._m_shed = obs.counter("flow_records_shed_total", site=site)
+        self._m_admission = obs.counter("admission_rejected_total", site=site)
         self._m_blocked = obs.counter("flow_blocked_ticks_total", site=site)
         self._m_degraded = obs.counter("flow_degraded_ticks_total", site=site)
         self._m_degrade_active = obs.gauge("flow_degrade_active", site=site)
@@ -230,26 +244,49 @@ class SiteRuntime:
             self._task = None
 
     def ingest(self, records: list[Record]) -> int:
-        """Offer records to the site; returns how many were accepted.
+        """Offer records to the site; returns how many were consumed.
 
-        Under the ``block`` policy fewer than offered may be accepted —
+        Under the ``block`` policy fewer than offered may be consumed —
         sources defer the rejected tail. Without a flow config (legacy)
-        or under ``shed``/``degrade`` everything is accepted (the latter
+        or under ``shed``/``degrade`` everything is consumed (the latter
         two bound the buffer internally, counting what they drop).
+
+        With an admission gate armed, records the token bucket rejects
+        are *terminally dropped at the door* (cheap, before any pipeline
+        work) and still count as consumed: ``records_ingested`` includes
+        them, and ``records_admission_rejected`` explains them on the
+        loss-identity side. The gate rejects the *front* of the chunk so
+        whatever the overload policy then defers remains a contiguous
+        tail — sources treat the return value as a consumed prefix.
         """
+        rejected = 0
+        if self.admission is not None and records:
+            saturated = (
+                self.flow is not None
+                and len(self._backlog) >= self.flow.max_backlog
+            )
+            allowed = self.admission.admit(
+                len(records), self.engine.sim.now, saturated=saturated
+            )
+            rejected = len(records) - allowed
+            if rejected:
+                self.records_admission_rejected += rejected
+                if self._obs_on:
+                    self._m_admission.inc(rejected)
+                records = records[rejected:]
         if self.policy is None:
             self._backlog.extend(records)
             accepted = len(records)
         else:
             accepted = self.policy.admit(self, records)
-        self.records_ingested += accepted
+        self.records_ingested += accepted + rejected
         if len(self._backlog) > self.max_backlog:
             self.max_backlog = len(self._backlog)
             if self._obs_on:
                 self._m_backlog_peak.set(self.max_backlog)
-        if self._obs_on and accepted:
-            self._m_ingested.inc(accepted)
-        return accepted
+        if self._obs_on and (accepted or rejected):
+            self._m_ingested.inc(accepted + rejected)
+        return accepted + rejected
 
     # -- overload-policy hooks (called by repro.flow.policy) -----------
     def count_shed(self, n: int) -> None:
@@ -478,6 +515,10 @@ class GlobalAggregator:
         #: Set by the runtime when this instance is killed, so its
         #: still-scheduled finalize timers become no-ops.
         self.crashed = False
+        #: Leadership term and config version stamped onto every emitted
+        #: result. Both stay 0 unless a control plane assigns them.
+        self.epoch = 0
+        self.config_version = 0
         self.late_partials = 0
         #: Raw records inside late partials — the exact record count the
         #: late path cost, so overload accounting can balance to zero.
@@ -602,6 +643,8 @@ class GlobalAggregator:
                 sites=sites,
                 emitted_at=now,
                 lineage=lineage,
+                epoch=self.epoch,
+                config_version=self.config_version,
             )
         )
         if self._obs_on:
@@ -743,6 +786,9 @@ class GeoStreamRuntime:
                 f"no VMs in aggregation region {job.aggregation_region}"
             )
         self.agg_vm = agg_vms[0]
+        #: Live aggregation region — starts at the job's, moves on
+        #: failover via :meth:`retarget_aggregation`.
+        self.aggregation_region = job.aggregation_region
         self.aggregator = GlobalAggregator(engine, job)
         #: Aggregator process liveness: while False, transport-level
         #: deliveries are dropped at the door (and recovered by replay).
@@ -850,7 +896,12 @@ class GeoStreamRuntime:
         """Boot a fresh aggregator from the last checkpoint, then replay."""
         if self._agg_up:
             return
+        old = self.aggregator
         self.aggregator = GlobalAggregator(self.engine, self.job)
+        # Epoch/config stamps carry across a plain same-leader restart;
+        # a control-plane promotion overwrites them right after this.
+        self.aggregator.epoch = old.epoch
+        self.aggregator.config_version = old.config_version
         if self.checkpoint_store is not None:
             self.aggregator.exactly_once = True
             payload = self.checkpoint_store.load("aggregator")
@@ -859,6 +910,27 @@ class GeoStreamRuntime:
         self._agg_up = True
         for site in self.sites.values():
             site.replay_retained()
+
+    def retarget_aggregation(self, region: str) -> None:
+        """Re-point every site's shipping at a new aggregation region.
+
+        Used by the control plane when a standby in ``region`` takes
+        over the leader lease: the destination VM becomes the first live
+        VM there and each site backend's ``retarget`` rebuilds plans and
+        instruments for the new destination. In-flight deliveries to the
+        dead leader finish or time out under the old coordinates; their
+        retries (and the retention replay) go to the new one.
+        """
+        vms = self.engine.deployment.vms(region)
+        if not vms:
+            raise ValueError(f"no VMs in new aggregation region {region}")
+        live = [vm for vm in vms if vm.alive]
+        self.agg_vm = (live or vms)[0]
+        self.aggregation_region = region
+        for site in self.sites.values():
+            retarget = getattr(site.shipping, "retarget", None)
+            if retarget is not None:
+                retarget(self.agg_vm)
 
     @property
     def aggregator_up(self) -> bool:
@@ -970,6 +1042,12 @@ class GeoStreamRuntime:
         return sum(site.records_shed for site in self.sites.values()) + sum(
             getattr(site.shipping, "records_shed", 0)
             for site in self.sites.values()
+        )
+
+    def records_admission_rejected(self) -> int:
+        """Records dropped at the door by per-site admission gates."""
+        return sum(
+            site.records_admission_rejected for site in self.sites.values()
         )
 
     def records_in_results(self) -> int:

@@ -216,6 +216,14 @@ class DirectShipping:
             on_complete=lambda _s: on_delivered(batch),
         )
 
+    def retarget(self, dst_vm: VM) -> None:
+        """Point this backend at a new destination VM (leader failover)."""
+        self.dst_vm = dst_vm
+        self._inst = _ShipInstruments(
+            self.engine, "direct",
+            self.src_vms[0].region_code, dst_vm.region_code,
+        )
+
     @classmethod
     def factory(cls, streams: int = 1):
         def build(engine: SageEngine, src_vms: list[VM], dst_vm: VM):
@@ -253,6 +261,9 @@ class SageShipping:
         self.n_nodes = n_nodes
         self.plan_ttl = plan_ttl
         self.intrusiveness = intrusiveness
+        #: Re-derive the coordination latency when the destination moves
+        #: (failover retarget) — unless the caller pinned it explicitly.
+        self._auto_coord = coordination_latency is None
         if coordination_latency is None:
             # Each item is registered with the Decision Manager, matched to
             # routes and acknowledged: two control round-trips plus DM
@@ -350,6 +361,32 @@ class SageShipping:
         self.engine.sim.schedule(self.coordination_latency, _start)
         return handle
 
+    def retarget(self, dst_vm: VM) -> None:
+        """Point this backend at a new aggregation region (failover).
+
+        Drops the cached plan (releasing its reservations) so the next
+        batch plans a route to the new destination, and re-derives the
+        coordination latency for the new region pair. A retarget into
+        the site's own region downgrades to local handover — exactly the
+        ``_current_plan`` same-region path.
+        """
+        dst_region = dst_vm.region_code
+        self.invalidate_plan()
+        if dst_region == self.dst_region:
+            return
+        self.dst_region = dst_region
+        if self._auto_coord:
+            if self.src_region == dst_region:
+                # Local handover: no WAN control round-trips, only the
+                # Decision Manager's fixed processing share.
+                self.coordination_latency = 0.1
+            else:
+                rtt = self.engine.env.topology.rtt(self.src_region, dst_region)
+                self.coordination_latency = 2.0 * rtt + 0.1
+        self._inst = _ShipInstruments(
+            self.engine, "sage", self.src_region, dst_region
+        )
+
     @classmethod
     def factory(cls, n_nodes: int = 3, plan_ttl: float = 60.0,
                 intrusiveness: float | None = None,
@@ -368,11 +405,46 @@ class SageShipping:
         return build
 
 
+class RetryBudget:
+    """Global cap on concurrently in-flight retry *attempts*.
+
+    Shared by every link built from one :meth:`ReliableShipping.factory`
+    closure: a correlated regional outage makes every link time out and
+    back off together, and without a shared bound their synchronized
+    retries amplify into a storm against whatever survived (typically
+    the freshly promoted leader). A retry holds one budget unit from
+    dispatch until its attempt resolves (ack, timeout, or cancel);
+    retries that find the budget exhausted are *deferred* — never
+    dropped — so at-least-once delivery is unaffected, only smeared out
+    in time.
+    """
+
+    def __init__(self, max_concurrent: int) -> None:
+        if max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        self.max_concurrent = max_concurrent
+        self.active = 0
+        #: Times a retry found no budget and had to defer.
+        self.exhausted_total = 0
+
+    def try_acquire(self) -> bool:
+        if self.active >= self.max_concurrent:
+            self.exhausted_total += 1
+            return False
+        self.active += 1
+        return True
+
+    def release(self) -> None:
+        if self.active > 0:
+            self.active -= 1
+
+
 class _Delivery:
     """Tracking state of one batch inside :class:`ReliableShipping`."""
 
     __slots__ = ("batch", "on_delivered", "attempt", "acked", "abandoned",
-                 "cancelled", "handle", "timer", "parked", "active")
+                 "cancelled", "handle", "timer", "parked", "active",
+                 "budgeted")
 
     def __init__(self, batch: Batch, on_delivered: DeliveryCallback) -> None:
         self.batch = batch
@@ -388,6 +460,8 @@ class _Delivery:
         self.parked = False
         #: Currently occupying an in-flight slot.
         self.active = False
+        #: Currently holding one unit of the shared retry budget.
+        self.budgeted = False
 
     @property
     def finished(self) -> bool:
@@ -463,6 +537,7 @@ class ReliableShipping:
         max_inflight: int | None = None,
         max_pending: int | None = None,
         breaker=None,
+        retry_budget: RetryBudget | None = None,
     ) -> None:
         if delivery_timeout <= 0:
             raise ValueError("delivery_timeout must be positive")
@@ -491,6 +566,9 @@ class ReliableShipping:
         self.max_inflight = max_inflight
         self.max_pending = max_pending
         self.breaker = breaker
+        #: Shared (cross-link) retry-storm guard; ``None`` = unlimited.
+        self.retry_budget = retry_budget
+        self.retry_budget_exhausted = 0
         self.batches_shed = 0
         self.records_shed = 0
         self.records_abandoned = 0
@@ -514,6 +592,7 @@ class ReliableShipping:
         self._m_parked = obs.counter("ship_batches_parked_total")
         self._m_shed = obs.counter("ship_batches_shed_total")
         self._m_cancelled = obs.counter("ship_batches_cancelled_total")
+        self._m_budget_exhausted = obs.counter("retry_budget_exhausted_total")
 
     # Cost accounting stays the inner backend's: retries pass through it.
     @property
@@ -627,6 +706,11 @@ class ReliableShipping:
             self._credits.release(1)
             self._pump()
 
+    def _release_budget(self, d: _Delivery) -> None:
+        if d.budgeted:
+            d.budgeted = False
+            self.retry_budget.release()
+
     def _finish(self, d: _Delivery) -> None:
         """Delivery reached a terminal state: free its slot and map entry."""
         if d.timer is not None:
@@ -636,6 +720,7 @@ class ReliableShipping:
             d.handle.cancel()
         d.handle = None
         self._release_slot(d)
+        self._release_budget(d)
         key = (d.batch.origin, d.batch.seq)
         if self._inflight.get(key) is d:
             del self._inflight[key]
@@ -701,6 +786,7 @@ class ReliableShipping:
         # The attempt is over either way: free the slot (and the network)
         # before the backoff, so other batches can use the link meanwhile.
         self._release_slot(d)
+        self._release_budget(d)
         if self.breaker is not None:
             self.breaker.record_failure()
         if d.attempt > self.max_retries:
@@ -724,6 +810,22 @@ class ReliableShipping:
         if d.finished:
             return
         d.timer = None
+        budget = self.retry_budget
+        if budget is not None:
+            if not budget.try_acquire():
+                # Storm guard: too many retries already pounding the
+                # network fleet-wide. Defer (jittered, so deferred
+                # retries do not re-collide), never drop — delivery
+                # stays at-least-once, just smeared out in time.
+                self.retry_budget_exhausted += 1
+                self._m_budget_exhausted.inc()
+                d.timer = self.engine.sim.schedule(
+                    self.backoff_base * (0.5 + self._rng.random()),
+                    self._retry,
+                    d,
+                )
+                return
+            d.budgeted = True
         self._dispatch(d)
 
     @classmethod
@@ -739,12 +841,19 @@ class ReliableShipping:
         breaker: bool = False,
         breaker_threshold: int = 3,
         breaker_reset: float = 30.0,
+        retry_budget: int | None = None,
     ):
         """Wrap another backend factory with at-least-once delivery.
 
         ``breaker=True`` attaches a per-link circuit breaker wired to the
         engine's fault bus (see :class:`repro.flow.CircuitBreaker`).
+        ``retry_budget`` caps *concurrent retry attempts across every
+        link this factory builds* (one shared :class:`RetryBudget`), so
+        a correlated outage cannot amplify into a cross-site retry storm.
         """
+        shared_budget = (
+            RetryBudget(retry_budget) if retry_budget is not None else None
+        )
 
         def build(engine: SageEngine, src_vms: list[VM], dst_vm: VM):
             link = (src_vms[0].region_code, dst_vm.region_code)
@@ -769,9 +878,23 @@ class ReliableShipping:
                 max_inflight=max_inflight,
                 max_pending=max_pending,
                 breaker=brk,
+                retry_budget=shared_budget,
             )
 
         return build
+
+    def retarget(self, dst_vm: VM) -> None:
+        """Re-point the inner backend at a new destination (failover).
+
+        In-flight attempts finish or time out under the old coordinates;
+        their retries — and everything shipped afterwards — go to the
+        new one. The wrapper's identity (name, RNG stream, counters)
+        deliberately survives the move: it is the *site's* link, not the
+        destination's.
+        """
+        inner_retarget = getattr(self.inner, "retarget", None)
+        if inner_retarget is not None:
+            inner_retarget(dst_vm)
 
 
 def _record_weight(batch: Batch) -> int:
