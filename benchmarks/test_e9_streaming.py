@@ -19,6 +19,7 @@ sits near the best of both.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -26,7 +27,12 @@ import pytest
 from repro.analysis.experiments import ExperimentRecord
 from repro.analysis.tables import render_table
 from repro.obs import Observer
-from repro.obs.bench import BenchRecord, read_bench, write_bench
+from repro.obs.bench import (
+    BenchRecord,
+    compare_to_baseline,
+    read_bench,
+    write_bench,
+)
 from repro.simulation.units import KB, MB
 from repro.streaming.batching import (
     AdaptiveBatchPolicy,
@@ -47,6 +53,11 @@ SEED = 24009
 SPEC = {"NEU": 3, "WEU": 3, "EUS": 3, "NUS": 3}
 DURATION = 120.0
 SITES = ("NEU", "WEU", "EUS")
+
+#: Committed per-record-plane recording the columnar plane is gated
+#: against (repo root; see ROADMAP item 1).
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_e9_streaming.json"
+MIN_SPEEDUP = 10.0
 
 
 def make_rate_job(rate: float, ship_raw: bool) -> StreamJob:
@@ -206,6 +217,17 @@ def test_e9a_latency_vs_rate(benchmark, report, bench_dir):
         usd_per_1k_records=lineage["usd_per_1k"],
     )
     read_bench(write_bench(bench, bench_dir))  # round-trip validates
+    # Regression gate: the columnar record plane must hold its speedup
+    # over the committed per-record recording (digest-matched).
+    gate = compare_to_baseline(bench, BASELINE, min_speedup=MIN_SPEEDUP)
+    rec.check(
+        f"columnar throughput >= {MIN_SPEEDUP:.0f}x the recorded "
+        "per-record baseline",
+        gate is None or gate["speedup"] >= MIN_SPEEDUP,
+        "no baseline recorded — gate skipped" if gate is None else
+        f"{gate['current']:,.0f} vs {gate['baseline']:,.0f} records/s "
+        f"({gate['speedup']:.1f}x)",
+    )
     rec.assert_shape()
 
 

@@ -30,6 +30,7 @@ from repro.api import (
     ControlConfig,
     GenConfig,
     OverloadConfig,
+    RecordPlaneConfig,
     SageSession,
     ScenarioReport,
     ServeConfig,
@@ -39,6 +40,7 @@ from repro.api import (
     SweepRunner,
     SweepTask,
     TransferResult,
+    default_record_plane,
     default_suite,
     derive_seed,
     register_scenario,
@@ -46,6 +48,7 @@ from repro.api import (
     run_serve,
     run_soak,
     run_sweep,
+    set_default_record_plane,
 )
 from repro.core.engine import SageEngine
 
@@ -56,6 +59,7 @@ __all__ = [
     "ControlConfig",
     "GenConfig",
     "OverloadConfig",
+    "RecordPlaneConfig",
     "SageEngine",
     "SageSession",
     "ScenarioReport",
@@ -66,6 +70,7 @@ __all__ = [
     "SweepRunner",
     "SweepTask",
     "TransferResult",
+    "default_record_plane",
     "default_suite",
     "derive_seed",
     "register_scenario",
@@ -73,5 +78,6 @@ __all__ = [
     "run_serve",
     "run_soak",
     "run_sweep",
+    "set_default_record_plane",
     "__version__",
 ]

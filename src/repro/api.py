@@ -31,9 +31,12 @@ from repro.config import (
     GridFtpConfig,
     OverloadConfig,
     ParallelStaticConfig,
+    RecordPlaneConfig,
     ServeConfig,
     ShortestPathConfig,
     SoakConfig,
+    default_record_plane,
+    set_default_record_plane,
 )
 from repro.control.scenario import run_serve
 from repro.core.api import SageSession, TransferResult
@@ -172,6 +175,7 @@ __all__ = [
     "GridFtpConfig",
     "OverloadConfig",
     "ParallelStaticConfig",
+    "RecordPlaneConfig",
     "SOAK_PROFILES",
     "SageSession",
     "ScenarioReport",
@@ -183,8 +187,10 @@ __all__ = [
     "SweepRunner",
     "SweepTask",
     "TransferResult",
+    "default_record_plane",
     "default_suite",
     "derive_seed",
+    "set_default_record_plane",
     "execute_task",
     "register_scenario",
     "registered_scenarios",

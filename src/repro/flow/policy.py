@@ -121,11 +121,14 @@ class OverloadPolicy:
     # -- helpers -------------------------------------------------------
     def _trim_oldest(self, site, bound: int) -> int:
         """Drop-oldest until the backlog is back at ``bound``."""
-        dropped = 0
         backlog = site._backlog
-        while len(backlog) > bound:
-            backlog.popleft()
-            dropped += 1
+        if hasattr(backlog, "trim_to"):  # columnar ChunkedBacklog
+            dropped = backlog.trim_to(bound)
+        else:
+            dropped = 0
+            while len(backlog) > bound:
+                backlog.popleft()
+                dropped += 1
         if dropped:
             site.count_shed(dropped)
         return dropped
@@ -164,7 +167,12 @@ class ShedPolicy(OverloadPolicy):
             # with p=0.5, spreading the loss across the stream instead
             # of concentrating it on the oldest records.
             rng = site.flow_rng
-            kept = [r for r in records if rng.random() < 0.5]
+            if hasattr(records, "where"):  # columnar RecordBatch
+                # rng.random(n) consumes the bit stream exactly like n
+                # scalar draws, so both planes keep the same records.
+                kept = records.where(rng.random(len(records)) < 0.5)
+            else:
+                kept = [r for r in records if rng.random() < 0.5]
             shed = len(records) - len(kept)
             if shed:
                 site.count_shed(shed)

@@ -24,9 +24,11 @@ from repro.streaming.operators import (
     FilterOperator,
     MapOperator,
     Operator,
+    PerRecordAdapter,
     WindowedAggregator,
     builtin_aggregate,
 )
+from repro.streaming.records import ChunkedBacklog, RecordBatch
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.hierarchy import HierarchicalRuntime, HubAggregator
 from repro.streaming.runtime import (
@@ -53,10 +55,13 @@ from repro.streaming.windows import SlidingWindows, TumblingWindows, Window
 
 __all__ = [
     "Record",
+    "RecordBatch",
+    "ChunkedBacklog",
     "Batch",
     "Operator",
     "MapOperator",
     "FilterOperator",
+    "PerRecordAdapter",
     "WindowedAggregator",
     "AggregateFn",
     "builtin_aggregate",

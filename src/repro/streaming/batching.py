@@ -135,6 +135,20 @@ class Batcher:
             self._oldest_arrival = now
         return self.maybe_flush(now)
 
+    def offer_many(self, records: list[Record], now: float) -> list[Batch]:
+        """Offer records in order; returns every batch the policy cut.
+
+        Semantically identical to calling :meth:`offer` per record —
+        the policy is consulted after each append, so batch boundaries
+        land exactly where the one-at-a-time path puts them.
+        """
+        out: list[Batch] = []
+        for record in records:
+            batch = self.offer(record, now)
+            if batch is not None:
+                out.append(batch)
+        return out
+
     def maybe_flush(self, now: float) -> Batch | None:
         """Check the policy (also called on timer ticks)."""
         if not self._buffer:

@@ -6,47 +6,141 @@ usually a :class:`WindowedAggregator`, which turns raw records into
 area. Partials are mergeable: the global aggregator combines partials from
 every site into the exact global result, so shipping partials instead of
 raw records loses nothing but volume.
+
+The canonical operator interface is **batch-first**:
+``process_batch(batch) -> RecordBatch`` transforms one columnar
+:class:`~repro.streaming.records.RecordBatch` at a time (vectorized
+where possible). Legacy per-record operators — anything exposing only
+``process(record) -> list[Record]`` — keep working through
+:class:`PerRecordAdapter`, which the site runtime wraps around them
+automatically (with a :class:`DeprecationWarning`) when the columnar
+plane is active.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
+import numpy as np
+
 from repro.streaming.events import Record
-from repro.streaming.windows import Window
+from repro.streaming.records import RecordBatch
+from repro.streaming.windows import TumblingWindows, Window
 
 
 class Operator(Protocol):
-    """A per-record transformation. Returns zero or more records."""
+    """A batch transformation: one :class:`RecordBatch` in, one out.
 
-    def process(self, record: Record) -> list[Record]:  # pragma: no cover
+    ``process_batch`` is the canonical interface; implementations that
+    also serve the legacy per-record plane provide ``process(record) ->
+    list[Record]`` with identical semantics. Objects exposing *only*
+    ``process`` are accepted everywhere an ``Operator`` is — the
+    runtime wraps them in :class:`PerRecordAdapter`.
+    """
+
+    def process_batch(
+        self, batch: RecordBatch
+    ) -> RecordBatch:  # pragma: no cover
         ...
 
 
+class PerRecordAdapter:
+    """Adapt a legacy per-record operator to the batch-first protocol.
+
+    Materializes each batch into :class:`Record` objects, runs the
+    wrapped operator's ``process`` on every one, and re-columnarizes the
+    outputs — same results as the legacy plane, minus its scheduling
+    overhead but plus the conversion cost. Migrate hot operators to a
+    native ``process_batch`` to shed the adapter.
+    """
+
+    def __init__(self, inner) -> None:
+        warnings.warn(
+            f"{type(inner).__name__} implements only the per-record "
+            "process() interface; wrapping it in PerRecordAdapter. "
+            "Implement process_batch(batch) for native batch support.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        self.inner = inner
+
+    def process(self, record: Record) -> list[Record]:
+        return self.inner.process(record)
+
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        out: list[Record] = []
+        process = self.inner.process
+        for record in batch.iter_records():
+            out.extend(process(record))
+        return RecordBatch.from_records(out, origin=batch.origin)
+
+
 class MapOperator:
-    """Apply a function to each record's value (and optionally key)."""
+    """Apply a function to each record's value (and optionally key).
+
+    ``batch_fn`` is the optional vectorized form (whole
+    :class:`RecordBatch` in/out); without it, batches are materialized
+    record-by-record through ``fn`` — identical results, slower.
+    """
 
     def __init__(
         self,
         fn: Callable[[Record], Record],
+        batch_fn: Callable[[RecordBatch], RecordBatch] | None = None,
     ) -> None:
         self.fn = fn
+        self.batch_fn = batch_fn
 
     def process(self, record: Record) -> list[Record]:
         out = self.fn(record)
         return [out] if out is not None else []
 
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        if self.batch_fn is not None:
+            return self.batch_fn(batch)
+        out: list[Record] = []
+        fn = self.fn
+        for record in batch.iter_records():
+            mapped = fn(record)
+            if mapped is not None:
+                out.append(mapped)
+        return RecordBatch.from_records(out, origin=batch.origin)
+
 
 class FilterOperator:
-    """Keep records matching a predicate."""
+    """Keep records matching a predicate.
 
-    def __init__(self, predicate: Callable[[Record], bool]) -> None:
+    ``batch_predicate`` is the optional vectorized form: it receives
+    the whole :class:`RecordBatch` and returns a boolean mask over its
+    records. Without it, the scalar ``predicate`` is applied per
+    materialized record.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Record], bool],
+        batch_predicate: Callable[[RecordBatch], np.ndarray] | None = None,
+    ) -> None:
         self.predicate = predicate
+        self.batch_predicate = batch_predicate
 
     def process(self, record: Record) -> list[Record]:
         return [record] if self.predicate(record) else []
+
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        if self.batch_predicate is not None:
+            mask = np.asarray(self.batch_predicate(batch), dtype=bool)
+        else:
+            predicate = self.predicate
+            mask = np.fromiter(
+                (bool(predicate(r)) for r in batch.iter_records()),
+                dtype=bool,
+                count=len(batch),
+            )
+        return batch.where(mask)
 
 
 @dataclass(frozen=True)
@@ -64,6 +158,24 @@ class AggregateFn:
     add: Callable[[Any, Any], Any]
     merge: Callable[[Any, Any], Any]
     result: Callable[[Any], Any]
+    #: Optional vectorized fold: ``fold_batch(state, values)`` folds a
+    #: float64 array of raw values into a partial state, **bit-identical**
+    #: to applying ``add`` left-to-right over the array. Aggregates
+    #: without an exactly-equivalent vectorized form (``var``) leave
+    #: this ``None`` and the columnar plane falls back to per-element
+    #: ``add``.
+    fold_batch: Callable[[Any, np.ndarray], Any] | None = None
+
+
+def _seq_sum(state: float, values: np.ndarray) -> float:
+    # np.add.accumulate is a strictly sequential left-to-right fold
+    # (unlike the pairwise np.add.reduce), so seeding it with the prior
+    # state reproduces the scalar add-chain bit for bit.
+    buf = np.empty(values.size + 1, dtype=np.float64)
+    buf[0] = state
+    buf[1:] = values
+    np.add.accumulate(buf, out=buf)
+    return float(buf[-1])
 
 
 def builtin_aggregate(name: str) -> AggregateFn:
@@ -75,6 +187,7 @@ def builtin_aggregate(name: str) -> AggregateFn:
             add=lambda s, v: s + 1,
             merge=lambda a, b: a + b,
             result=lambda s: s,
+            fold_batch=lambda s, v: s + v.size,
         )
     if name == "sum":
         return AggregateFn(
@@ -83,6 +196,7 @@ def builtin_aggregate(name: str) -> AggregateFn:
             add=lambda s, v: s + float(v),
             merge=lambda a, b: a + b,
             result=lambda s: s,
+            fold_batch=_seq_sum,
         )
     if name == "min":
         return AggregateFn(
@@ -91,6 +205,7 @@ def builtin_aggregate(name: str) -> AggregateFn:
             add=lambda s, v: min(s, float(v)),
             merge=min,
             result=lambda s: s,
+            fold_batch=lambda s, v: float(np.minimum.reduce(v, initial=s)),
         )
     if name == "max":
         return AggregateFn(
@@ -99,6 +214,7 @@ def builtin_aggregate(name: str) -> AggregateFn:
             add=lambda s, v: max(s, float(v)),
             merge=max,
             result=lambda s: s,
+            fold_batch=lambda s, v: float(np.maximum.reduce(v, initial=s)),
         )
     if name == "mean":
         # Partial state: (count, sum).
@@ -108,12 +224,15 @@ def builtin_aggregate(name: str) -> AggregateFn:
             add=lambda s, v: (s[0] + 1, s[1] + float(v)),
             merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
             result=lambda s: s[1] / s[0] if s[0] else float("nan"),
+            fold_batch=lambda s, v: (s[0] + v.size, _seq_sum(s[1], v)),
         )
     if name == "var":
         # Partial state: (count, mean, M2) — population variance via the
         # Welford/Chan update. The naive (count, sum, sum-of-squares)
         # state cancels catastrophically when the mean is large relative
         # to the spread, so merged and sequential results diverged.
+        # The Welford chain has no bit-exact vectorized form, so no
+        # fold_batch: the columnar plane folds var per element.
         return AggregateFn(
             "var",
             zero=lambda: (0, 0.0, 0.0),
@@ -197,6 +316,94 @@ class WindowedAggregator:
             self._state[slot] = self.aggregate.add(state, record.value)
             self._counts[slot] = self._counts.get(slot, 0) + 1
         return []
+
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        """Fold a whole batch in; emits nothing (emission is watermark-driven).
+
+        The fast path — tumbling windows, float64 values, and an
+        aggregate with a ``fold_batch`` — groups the batch by (window,
+        key) with one stable lexsort and folds each contiguous group in
+        a single vectorized call. Everything else (sliding windows,
+        object payloads, ``var``, custom aggregates) takes a per-record
+        loop with semantics identical to :meth:`process`.
+        """
+        n = len(batch)
+        if not n:
+            return batch
+        self.records_seen += n
+        if self._watermark != -math.inf:
+            keep = batch.t + self.allowed_lateness >= self._watermark
+            n_keep = int(np.count_nonzero(keep))
+            if n_keep != n:
+                self.late_dropped += n - n_keep
+                if not n_keep:
+                    return RecordBatch.empty(batch.origin)
+                batch = batch.where(keep)
+        fold = self.aggregate.fold_batch
+        if (
+            fold is not None
+            and isinstance(self.windows, TumblingWindows)
+            and batch.value.dtype != object
+        ):
+            self._fold_tumbling(batch, fold)
+        else:
+            self._fold_slow(batch)
+        return RecordBatch.empty(batch.origin)
+
+    def _fold_tumbling(self, batch: RecordBatch, fold) -> None:
+        starts = self.windows.assign_starts(batch.t)
+        # Stable sort: within one (window, key) group, values keep their
+        # arrival order, so sequential folds match the legacy plane's
+        # interleaved per-record adds exactly.
+        order = np.lexsort((batch.key_idx, starts))
+        starts = starts[order]
+        key_idx = batch.key_idx[order]
+        values = batch.value[order]
+        boundary = np.empty(len(starts), dtype=bool)
+        boundary[0] = True
+        np.not_equal(starts[1:], starts[:-1], out=boundary[1:])
+        boundary[1:] |= key_idx[1:] != key_idx[:-1]
+        group_starts = np.flatnonzero(boundary)
+        group_ends = np.append(group_starts[1:], len(starts))
+        length = self.windows.length
+        keys = batch.keys
+        state_map = self._state
+        counts = self._counts
+        zero = self.aggregate.zero
+        for lo, hi in zip(group_starts, group_ends):
+            lo = int(lo)
+            hi = int(hi)
+            start = starts[lo].item()
+            slot = (Window(start, start + length), keys[key_idx[lo]])
+            state = state_map.get(slot)
+            if state is None:
+                state = zero()
+            state_map[slot] = fold(state, values[lo:hi])
+            counts[slot] = counts.get(slot, 0) + (hi - lo)
+
+    def _fold_slow(self, batch: RecordBatch) -> None:
+        # Exact replica of the per-record fold for shapes the vectorized
+        # path cannot serve bit-identically.
+        add = self.aggregate.add
+        zero = self.aggregate.zero
+        assign = self.windows.assign
+        t = batch.t
+        key_idx = batch.key_idx
+        keys = batch.keys
+        values = batch.value
+        is_obj = values.dtype == object
+        state_map = self._state
+        counts = self._counts
+        for i in range(len(batch)):
+            key = keys[key_idx[i]]
+            value = values[i] if is_obj else values[i].item()
+            for window in assign(t[i].item()):
+                slot = (window, key)
+                state = state_map.get(slot)
+                if state is None:
+                    state = zero()
+                state_map[slot] = add(state, value)
+                counts[slot] = counts.get(slot, 0) + 1
 
     def advance_watermark(self, watermark: float) -> list[Record]:
         """Close all windows ending before the watermark; emit partials."""

@@ -1,0 +1,319 @@
+"""The columnar record plane: batches of records as parallel arrays.
+
+A :class:`RecordBatch` carries one chunk of stream records as four
+parallel numpy columns — event time ``t``, ``key_idx`` (indices into a
+shared per-batch key table), ``value``, and ``size`` — plus the batch's
+``origin`` site. Sources emit one batch per tick, operators transform
+whole batches (vectorized where possible), and the windowed aggregator
+folds grouped slices — so the per-record Python-object cost of the
+legacy plane (one ``Record`` instance, one dict lookup, one method call
+per record) collapses into a handful of array operations per chunk.
+
+Semantics are pinned to the per-record plane: a batch is *defined* as
+equivalent to the ordered list ``batch.to_records()``, and every
+consumer preserves record order, per-record arithmetic (sequential
+left-to-right folds), and front-of-chunk admission/backpressure
+slicing. The equivalence suite (``tests/test_columnar_equivalence.py``)
+asserts identical window results, loss identities, and soak digests
+between the two planes for the same seed.
+
+Memory layout:
+
+* ``t``     — float64, event times (non-decreasing within one source
+  emission, as with the legacy plane);
+* ``key_idx`` — int64 indices into ``keys``, a per-batch tuple of key
+  strings (sources with a fixed key universe share one table across
+  every batch they emit);
+* ``value`` — float64 for numeric streams; ``object`` dtype when a
+  source carries arbitrary payloads (``TraceSource``), in which case
+  consumers fall back to per-element folds;
+* ``size``  — float64 record sizes in bytes.
+
+Slicing (``batch[a:b]``) returns array *views* — deferring a rejected
+tail or splitting a backlog chunk never copies record data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.streaming.events import Record
+
+_EMPTY_F = np.empty(0, dtype=np.float64)
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+
+class RecordBatch:
+    """One chunk of stream records in columnar form."""
+
+    __slots__ = ("t", "key_idx", "value", "size", "keys", "origin")
+
+    def __init__(
+        self,
+        t: np.ndarray,
+        key_idx: np.ndarray,
+        value: np.ndarray,
+        size: np.ndarray,
+        keys: tuple[str, ...],
+        origin: str = "",
+    ) -> None:
+        self.t = t
+        self.key_idx = key_idx
+        self.value = value
+        self.size = size
+        self.keys = keys
+        self.origin = origin
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def empty(cls, origin: str = "") -> "RecordBatch":
+        return cls(_EMPTY_F, _EMPTY_I, _EMPTY_F, _EMPTY_F, (), origin)
+
+    @classmethod
+    def from_records(
+        cls, records: list[Record], origin: str | None = None
+    ) -> "RecordBatch":
+        """Columnarize a record list (the legacy-plane bridge).
+
+        ``value`` stays a float64 column only when every value is a
+        plain float; any other payload switches the column to object
+        dtype so ``to_records`` round-trips values verbatim.
+        """
+        n = len(records)
+        if n == 0:
+            return cls.empty(origin or "")
+        t = np.fromiter((r.event_time for r in records), np.float64, n)
+        size = np.fromiter((r.size_bytes for r in records), np.float64, n)
+        table: dict[str, int] = {}
+        key_idx = np.fromiter(
+            (
+                table.setdefault(r.key, len(table))
+                for r in records
+            ),
+            np.int64,
+            n,
+        )
+        values = [r.value for r in records]
+        if all(type(v) is float for v in values):
+            value = np.asarray(values, dtype=np.float64)
+        else:
+            value = np.empty(n, dtype=object)
+            value[:] = values
+        return cls(
+            t,
+            key_idx,
+            value,
+            size,
+            tuple(table),
+            records[0].origin if origin is None else origin,
+        )
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def __bool__(self) -> bool:
+        return len(self.t) > 0
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return RecordBatch(
+                self.t[idx],
+                self.key_idx[idx],
+                self.value[idx],
+                self.size[idx],
+                self.keys,
+                self.origin,
+            )
+        i = int(idx)
+        return Record(
+            event_time=self.t[i].item(),
+            key=self.keys[self.key_idx[i]],
+            value=(
+                self.value[i]
+                if self.value.dtype == object
+                else self.value[i].item()
+            ),
+            origin=self.origin,
+            size_bytes=self.size[i].item(),
+        )
+
+    def __add__(self, other: "RecordBatch") -> "RecordBatch":
+        if not isinstance(other, RecordBatch):
+            return NotImplemented
+        if not len(self):
+            return other
+        if not len(other):
+            return self
+        if self.keys == other.keys:
+            keys = self.keys
+            other_idx = other.key_idx
+        else:
+            lookup = {k: i for i, k in enumerate(self.keys)}
+            remap = np.empty(len(other.keys), dtype=np.int64)
+            for j, key in enumerate(other.keys):
+                remap[j] = lookup.setdefault(key, len(lookup))
+            keys = tuple(lookup)
+            other_idx = remap[other.key_idx]
+        if self.value.dtype == object or other.value.dtype == object:
+            value = np.empty(len(self) + len(other), dtype=object)
+            value[: len(self)] = self.value
+            value[len(self):] = other.value
+        else:
+            value = np.concatenate((self.value, other.value))
+        return RecordBatch(
+            np.concatenate((self.t, other.t)),
+            np.concatenate((self.key_idx, other_idx)),
+            value,
+            np.concatenate((self.size, other.size)),
+            keys,
+            self.origin or other.origin,
+        )
+
+    # -- transforms ----------------------------------------------------
+    def where(self, mask: np.ndarray) -> "RecordBatch":
+        """Records where ``mask`` is True (order preserved)."""
+        return RecordBatch(
+            self.t[mask],
+            self.key_idx[mask],
+            self.value[mask],
+            self.size[mask],
+            self.keys,
+            self.origin,
+        )
+
+    def with_key(self, key: str) -> "RecordBatch":
+        """Rekey every record to one key (zero-copy on data columns)."""
+        return RecordBatch(
+            self.t,
+            np.zeros(len(self.t), dtype=np.int64),
+            self.value,
+            self.size,
+            (key,),
+            self.origin,
+        )
+
+    def split(self, chunk_records: int) -> Iterator["RecordBatch"]:
+        """Yield views of at most ``chunk_records`` records each."""
+        n = len(self)
+        if n <= chunk_records:
+            yield self
+            return
+        for start in range(0, n, chunk_records):
+            yield self[start:start + chunk_records]
+
+    # -- record materialization ----------------------------------------
+    def to_records(self) -> list[Record]:
+        """The equivalent legacy record list (bit-identical fields)."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[Record]:
+        t, key_idx, value, size = self.t, self.key_idx, self.value, self.size
+        keys, origin = self.keys, self.origin
+        is_obj = value.dtype == object
+        for i in range(len(t)):
+            yield Record(
+                event_time=t[i].item(),
+                key=keys[key_idx[i]],
+                value=value[i] if is_obj else value[i].item(),
+                origin=origin,
+                size_bytes=size[i].item(),
+            )
+
+    # -- introspection -------------------------------------------------
+    @property
+    def first_event_time(self) -> float:
+        """Event time of the first (oldest-queued) record."""
+        return float(self.t[0])
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.size.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecordBatch(n={len(self)}, keys={len(self.keys)}, "
+            f"origin={self.origin!r})"
+        )
+
+
+class ChunkedBacklog:
+    """A site ingest backlog holding :class:`RecordBatch` chunks.
+
+    Presents *record-count* semantics (``len`` is records, not chunks)
+    so overload policies and watermark logic read it exactly like the
+    legacy ``deque[Record]``: ``extend`` appends at the tail,
+    ``pop_upto``/``trim_to`` consume/drop from the head, preserving
+    record order across chunk boundaries. Oversized batches are split
+    into chunks of at most ``chunk_records`` on the way in.
+    """
+
+    __slots__ = ("chunk_records", "_chunks", "_count")
+
+    def __init__(self, chunk_records: int = 4096) -> None:
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.chunk_records = chunk_records
+        self._chunks: deque[RecordBatch] = deque()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def extend(self, records: "RecordBatch | Iterable[Record]") -> None:
+        if not isinstance(records, RecordBatch):
+            records = RecordBatch.from_records(list(records))
+        n = len(records)
+        if not n:
+            return
+        for chunk in records.split(self.chunk_records):
+            self._chunks.append(chunk)
+        self._count += n
+
+    def pop_upto(self, budget: int) -> list[RecordBatch]:
+        """Remove and return up to ``budget`` records from the head.
+
+        The final chunk is split when the budget lands inside it, so
+        exactly ``min(budget, len(self))`` records are returned.
+        """
+        out: list[RecordBatch] = []
+        taken = 0
+        chunks = self._chunks
+        while chunks and taken < budget:
+            head = chunks[0]
+            room = budget - taken
+            if len(head) <= room:
+                out.append(chunks.popleft())
+                taken += len(head)
+            else:
+                out.append(head[:room])
+                chunks[0] = head[room:]
+                taken = budget
+        self._count -= taken
+        return out
+
+    def trim_to(self, bound: int) -> int:
+        """Drop oldest records until at most ``bound`` remain."""
+        drop = self._count - bound
+        if drop <= 0:
+            return 0
+        remaining = drop
+        chunks = self._chunks
+        while remaining > 0:
+            head = chunks[0]
+            if len(head) <= remaining:
+                chunks.popleft()
+                remaining -= len(head)
+            else:
+                chunks[0] = head[remaining:]
+                remaining = 0
+        self._count = bound
+        return drop
+
+    @property
+    def first_event_time(self) -> float | None:
+        """Event time of the oldest backlogged record."""
+        return self._chunks[0].first_event_time if self._chunks else None

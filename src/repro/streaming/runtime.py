@@ -25,15 +25,22 @@ from typing import Callable
 
 import numpy as np
 
+from repro.config import RecordPlaneConfig, default_record_plane
 from repro.core.engine import SageEngine
 from repro.flow.checkpoint import Checkpointer, CheckpointStore
 from repro.flow.credits import CreditGate
 from repro.flow.policy import FlowConfig, make_policy
 from repro.obs.lineage import SiteLeg, WindowLineage
+from repro.simulation.engine import PeriodicGroup
 from repro.streaming.batching import Batcher
 from repro.streaming.dataflow import SiteSpec, StreamJob
 from repro.streaming.events import Batch, Record
-from repro.streaming.operators import PartialAggregate, WindowedAggregator
+from repro.streaming.operators import (
+    PartialAggregate,
+    PerRecordAdapter,
+    WindowedAggregator,
+)
+from repro.streaming.records import ChunkedBacklog, RecordBatch
 from repro.streaming.windows import Window
 
 
@@ -131,6 +138,7 @@ class SiteRuntime:
         per_vm_records_per_s: float = 5000.0,
         tick: float = 1.0,
         flow: FlowConfig | None = None,
+        record_plane: RecordPlaneConfig | None = None,
     ) -> None:
         self.engine = engine
         self.job = job
@@ -140,6 +148,14 @@ class SiteRuntime:
         self.tick = tick
         self.flow = flow
         self.policy = make_policy(flow) if flow is not None else None
+        if record_plane is None:
+            record_plane = (
+                job.record_plane
+                if job.record_plane is not None
+                else default_record_plane()
+            )
+        self.record_plane = record_plane
+        self._columnar = record_plane.columnar
         vms = engine.deployment.vms(spec.region)
         if not vms:
             raise ValueError(f"no VMs deployed in site region {spec.region}")
@@ -147,7 +163,20 @@ class SiteRuntime:
         self.capacity_per_tick = per_vm_records_per_s * len(self.vms) * tick
         self.aggregator = WindowedAggregator(job.windows, job.aggregate)
         self.batcher = Batcher(job.batch_policy_factory(), origin=spec.region)
-        self._backlog: deque[Record] = deque()
+        #: Operator chain as executed: on the columnar plane, anything
+        #: lacking process_batch is wrapped in a PerRecordAdapter.
+        if self._columnar:
+            self._ops = [
+                op if hasattr(op, "process_batch") else PerRecordAdapter(op)
+                for op in spec.operators
+            ]
+        else:
+            self._ops = list(spec.operators)
+        self._backlog: "deque[Record] | ChunkedBacklog" = (
+            ChunkedBacklog(record_plane.chunk_records)
+            if self._columnar
+            else deque()
+        )
         self._watermark = -float("inf")
         self.records_ingested = 0
         self.records_processed = 0
@@ -211,17 +240,40 @@ class SiteRuntime:
         self._st_ship = obs.stage("ship.send")
         self._mt_records = obs.meter("records")
         self._op_stages = (
-            [(op, obs.stage(f"op.{type(op).__name__}")) for op in spec.operators]
-            if self._obs_on and spec.operators
+            [
+                # Adapter-wrapped operators keep their inner type's
+                # stage label so profiles read the same on both planes.
+                (op, obs.stage(f"op.{type(getattr(op, 'inner', op)).__name__}"))
+                for op in self._ops
+            ]
+            if self._obs_on and self._ops
             else None
         )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
+        # Batch event scheduling: on the columnar plane all of a site's
+        # same-tick sources plus the site tick share ONE periodic queue
+        # event (fired in registration order — identical to the stable
+        # same-timestamp ordering of separate events), so a site costs
+        # one dispatch per tick instead of one per source.
+        sim = self.engine.sim
+        group = PeriodicGroup(sim, self.tick) if self._columnar else None
         for source in self.spec.sources:
-            source.attach(self.engine.sim, self.spec.region, self.ingest)
-            source.start()
-        self._task = self.engine.sim.add_periodic(self.tick, self._on_tick)
+            source.attach(
+                sim,
+                self.spec.region,
+                self.ingest,
+                batch_default=self._columnar,
+            )
+            if group is not None and source.tick == self.tick:
+                source.start(schedule=group.add)
+            else:
+                source.start()
+        if group is not None:
+            self._task = group.add(self._on_tick)
+        else:
+            self._task = sim.add_periodic(self.tick, self._on_tick)
 
     def stop_sources(self, drain: bool = False) -> None:
         """Stop ingestion but keep the tick loop running.
@@ -322,10 +374,15 @@ class SiteRuntime:
             budget = self.policy.drain_budget(self, budget)
         processed = 0
         with self._st_drain:
-            while self._backlog and processed < budget:
-                record = self._backlog.popleft()
-                processed += 1
-                self._process(record, now)
+            if self._columnar:
+                for chunk in self._backlog.pop_upto(budget):
+                    processed += len(chunk)
+                    self._process_batch(chunk, now)
+            else:
+                while self._backlog and processed < budget:
+                    record = self._backlog.popleft()
+                    processed += 1
+                    self._process(record, now)
         self.records_processed += processed
         if processed:
             # Freed ingest slots return to the credit pool (no-op for
@@ -336,7 +393,12 @@ class SiteRuntime:
         # shows up as extra window latency (windows close later).
         watermark = now - self.job.watermark_lag
         if self._backlog:
-            watermark = min(watermark, self._backlog[0].event_time)
+            oldest_backlogged = (
+                self._backlog.first_event_time
+                if self._columnar
+                else self._backlog[0].event_time
+            )
+            watermark = min(watermark, oldest_backlogged)
         for source in self.spec.sources:
             oldest = source.oldest_pending_time
             if oldest is not None:
@@ -369,8 +431,8 @@ class SiteRuntime:
                     records=pa.count,
                 )
         with self._st_batch:
-            for partial in partials:
-                self._emit(partial, now)
+            for cut in self.batcher.offer_many(partials, now):
+                self._ship(cut)
             if self.policy is None or self.policy.flush_allowed(self):
                 out = self.batcher.maybe_flush(now)
                 if out is not None:
@@ -379,7 +441,7 @@ class SiteRuntime:
     def _process(self, record: Record, now: float) -> None:
         pending = [record]
         if self._op_stages is None:
-            for op in self.spec.operators:
+            for op in self._ops:
                 nxt: list[Record] = []
                 for r in pending:
                     nxt.extend(op.process(r))
@@ -400,6 +462,27 @@ class SiteRuntime:
                 self._emit(r, now)
             else:
                 self.aggregator.process(r)
+
+    def _process_batch(self, batch: RecordBatch, now: float) -> None:
+        """Columnar drain: one backlog chunk through the operator chain
+        and into the windowed aggregator (or the batcher, for raw-record
+        shipping jobs)."""
+        if self._op_stages is None:
+            for op in self._ops:
+                batch = op.process_batch(batch)
+                if not len(batch):
+                    return
+        else:
+            for op, stage in self._op_stages:
+                with stage:
+                    batch = op.process_batch(batch)
+                if not len(batch):
+                    return
+        if self.job.ship_raw_records:
+            for record in batch.iter_records():
+                self._emit(record, now)
+        else:
+            self.aggregator.process_batch(batch)
 
     def _emit(self, record: Record, now: float) -> None:
         batch = self.batcher.offer(record, now)
@@ -776,10 +859,18 @@ class GeoStreamRuntime:
         shipping_factory,
         per_vm_records_per_s: float = 5000.0,
         flow: FlowConfig | None = None,
+        record_plane: RecordPlaneConfig | None = None,
     ) -> None:
         self.engine = engine
         self.job = job
         self.flow = flow if flow is not None else job.flow
+        if record_plane is None:
+            record_plane = (
+                job.record_plane
+                if job.record_plane is not None
+                else default_record_plane()
+            )
+        self.record_plane = record_plane
         agg_vms = engine.deployment.vms(job.aggregation_region)
         if not agg_vms:
             raise ValueError(
@@ -812,6 +903,7 @@ class GeoStreamRuntime:
                 self._deliver,
                 per_vm_records_per_s=per_vm_records_per_s,
                 flow=self.flow,
+                record_plane=record_plane,
             )
 
     def _deliver(self, batch: Batch) -> None:

@@ -12,25 +12,45 @@ tail is *deferred* — held in the source's pending buffer with its original
 event times and re-offered first on the next tick — so a throttled source
 loses nothing; the deferral simply shows up as end-to-end latency.
 Sinks returning ``None`` (the historical contract) admit everything.
+
+Emission is dual-plane. Every source exposes one keyword-only surface —
+``emit_batch`` / ``chunk_records`` — controlling *how* a tick's records
+reach the sink: as a columnar :class:`~repro.streaming.records.RecordBatch`
+(the default under the columnar record plane, resolved at attach time) or
+as the legacy ``list[Record]``. The built-in sources draw from their RNG
+streams in the exact same order on both planes, so a fixed seed produces
+bit-identical records either way — except :class:`SensorGridSource`,
+whose batch plane vectorizes the per-sensor draw loop (documented on the
+class; it appears in no digest-pinned scenario).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Iterable
 
 import numpy as np
 
 from repro.simulation.engine import PeriodicTask, Simulator
 from repro.streaming.events import Record
+from repro.streaming.records import RecordBatch
 
 
 class StreamSource:
     """Base class wiring a source to the simulator.
 
     Subclasses implement :meth:`_emit_tick` returning the records of one
-    tick interval. ``sink`` is set by the runtime when the source is
-    attached to a site.
+    tick interval — and, for native columnar emission,
+    :meth:`_emit_tick_batch` returning the same records as one
+    :class:`RecordBatch` (the base implementation materializes through
+    ``_emit_tick``, so batch mode works for any subclass). ``sink`` is
+    set by the runtime when the source is attached to a site.
+
+    ``emit_batch`` — tri-state: ``True`` forces batch emission,
+    ``False`` forces record lists, ``None`` (default) defers to the
+    site's record plane at attach time. ``chunk_records`` caps the size
+    of a single sink offer in batch mode (``None`` = one offer per
+    tick); a partially accepted chunk stops the tick's offers, exactly
+    like a partially accepted list did.
     """
 
     def __init__(
@@ -38,31 +58,50 @@ class StreamSource:
         name: str,
         tick: float = 1.0,
         record_bytes: float = 200.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
         if tick <= 0:
             raise ValueError("tick must be positive")
+        if chunk_records is not None and chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
         self.name = name
         self.tick = tick
         self.record_bytes = record_bytes
+        self.emit_batch = emit_batch
+        self.chunk_records = chunk_records
         self.sink: Callable[[list[Record]], None] | None = None
         self.origin: str = ""
         #: Records the sink accepted (deferred records count on delivery).
         self.records_emitted = 0
         #: Sink-rejected records awaiting re-offer (block backpressure).
-        self._pending: list[Record] = []
+        #: A list on the legacy plane, a RecordBatch on the columnar one.
+        self._pending: "list[Record] | RecordBatch" = []
         #: High-water mark of the pending buffer.
         self.max_deferred = 0
         self._task: PeriodicTask | None = None
         self._draining = False
         self._sim: Simulator | None = None
+        self._batch_mode = bool(emit_batch)
 
     # ------------------------------------------------------------------
-    def attach(self, sim: Simulator, origin: str, sink) -> None:
+    def attach(
+        self, sim: Simulator, origin: str, sink, *, batch_default: bool = False
+    ) -> None:
         self._sim = sim
         self.origin = origin
         self.sink = sink
+        resolved = (
+            batch_default if self.emit_batch is None else self.emit_batch
+        )
+        self._batch_mode = bool(resolved)
 
-    def start(self) -> None:
+    def start(self, *, schedule=None) -> None:
+        """Begin ticking. ``schedule`` optionally overrides how the tick
+        is driven (the site runtime passes its shared
+        :meth:`~repro.simulation.engine.PeriodicGroup.add` so all of a
+        site's sources ride one queue event per tick)."""
         if self._sim is None or self.sink is None:
             raise RuntimeError("source must be attached to a site first")
         if self._task is not None:
@@ -71,7 +110,10 @@ class StreamSource:
                 return
             raise RuntimeError("source already started")
         self._draining = False
-        self._task = self._sim.add_periodic(self.tick, self._fire)
+        if schedule is not None:
+            self._task = schedule(self._fire)
+        else:
+            self._task = self._sim.add_periodic(self.tick, self._fire)
 
     def stop(self, drain: bool = False) -> None:
         """Stop the source; with ``drain``, finish delivering first.
@@ -84,7 +126,7 @@ class StreamSource:
         offering the deferred tail until the site admits all of it,
         then retires the task.
         """
-        if drain and self._pending and self._task is not None:
+        if drain and len(self._pending) and self._task is not None:
             self._draining = True
             return
         self._draining = False
@@ -95,20 +137,41 @@ class StreamSource:
     def _fire(self) -> None:
         assert self._sim is not None and self.sink is not None
         t0 = self._sim.now - self.tick
-        fresh = [] if self._draining else self._emit_tick(t0, self._sim.now)
-        records = self._pending + fresh if self._pending else fresh
+        if self._batch_mode:
+            fresh = (
+                RecordBatch.empty(self.origin)
+                if self._draining
+                else self._emit_tick_batch(t0, self._sim.now)
+            )
+        else:
+            fresh = (
+                [] if self._draining else self._emit_tick(t0, self._sim.now)
+            )
+        records = self._pending + fresh if len(self._pending) else fresh
         if not records:
             if self._draining:
                 self.stop()
             return
-        accepted = self.sink(records)
-        if accepted is None:  # legacy sink: everything admitted
-            accepted = len(records)
+        chunk = self.chunk_records
+        if self._batch_mode and chunk is not None and len(records) > chunk:
+            accepted = 0
+            for offset in range(0, len(records), chunk):
+                piece = records[offset:offset + chunk]
+                got = self.sink(piece)
+                if got is None:  # legacy sink: everything admitted
+                    got = len(piece)
+                accepted += got
+                if got < len(piece):
+                    break
+        else:
+            accepted = self.sink(records)
+            if accepted is None:  # legacy sink: everything admitted
+                accepted = len(records)
         self.records_emitted += accepted
         self._pending = records[accepted:]
         if len(self._pending) > self.max_deferred:
             self.max_deferred = len(self._pending)
-        if self._draining and not self._pending:
+        if self._draining and not len(self._pending):
             self.stop()
 
     @property
@@ -128,10 +191,26 @@ class StreamSource:
         *admitted late by the site's own choice*, and turning that into
         a late-drop would make the ``block`` policy lossy.
         """
-        return self._pending[0].event_time if self._pending else None
+        pending = self._pending
+        if not len(pending):
+            return None
+        if isinstance(pending, RecordBatch):
+            return pending.first_event_time
+        return pending[0].event_time
 
     def _emit_tick(self, t0: float, t1: float) -> list[Record]:
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        """Columnar form of :meth:`_emit_tick`.
+
+        Base implementation materializes the per-record path — correct
+        for any subclass; the built-ins override it with vectorized
+        draws.
+        """
+        return RecordBatch.from_records(
+            self._emit_tick(t0, t1), origin=self.origin
+        )
 
     def _rng(self) -> np.random.Generator:
         assert self._sim is not None
@@ -149,13 +228,27 @@ class PoissonSource(StreamSource):
         value_fn: Callable[[np.random.Generator], float] | None = None,
         tick: float = 1.0,
         record_bytes: float = 200.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.rate = rate
         self.keys = keys or ["k0"]
+        #: A custom value_fn forces a per-record draw loop even on the
+        #: columnar plane (to preserve its RNG stream); the default
+        #: standard-normal values vectorize.
+        self._default_values = value_fn is None
         self.value_fn = value_fn or (lambda rng: float(rng.normal()))
+        self._key_table: tuple[str, ...] | None = None
 
     def _emit_tick(self, t0: float, t1: float) -> list[Record]:
         rng = self._rng()
@@ -174,6 +267,34 @@ class PoissonSource(StreamSource):
             )
             for i in range(n)
         ]
+
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        # Same RNG stream order as _emit_tick: poisson, uniform(n),
+        # integers(n), then n value draws (an array fill consumes the
+        # bit stream exactly like n scalar calls).
+        rng = self._rng()
+        n = int(rng.poisson(self.rate * (t1 - t0)))
+        if n == 0:
+            return RecordBatch.empty(self.origin)
+        times = np.sort(rng.uniform(t0, t1, n))
+        key_idx = rng.integers(0, len(self.keys), n)
+        if self._default_values:
+            values = rng.normal(size=n)
+        else:
+            value_fn = self.value_fn
+            values = np.fromiter(
+                (float(value_fn(rng)) for _ in range(n)), np.float64, n
+            )
+        if self._key_table is None or len(self._key_table) != len(self.keys):
+            self._key_table = tuple(self.keys)
+        return RecordBatch(
+            times,
+            key_idx,
+            values,
+            np.full(n, self.record_bytes, dtype=np.float64),
+            self._key_table,
+            self.origin,
+        )
 
 
 class MmppSource(StreamSource):
@@ -194,8 +315,17 @@ class MmppSource(StreamSource):
         keys: list[str] | None = None,
         tick: float = 1.0,
         record_bytes: float = 200.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         if base_rate <= 0 or burst_rate <= 0:
             raise ValueError("rates must be positive")
         if mean_quiet <= 0 or mean_burst <= 0:
@@ -207,18 +337,22 @@ class MmppSource(StreamSource):
         self.keys = keys or ["k0"]
         self._bursting = False
         self._switch_at: float | None = None
+        self._key_table: tuple[str, ...] | None = None
 
     def current_rate(self) -> float:
         return self.burst_rate if self._bursting else self.base_rate
 
-    def _emit_tick(self, t0: float, t1: float) -> list[Record]:
-        rng = self._rng()
+    def _advance_state(self, t0: float, t1: float, rng) -> None:
         if self._switch_at is None:
             self._switch_at = t0 + rng.exponential(self.mean_quiet)
         while self._switch_at <= t1:
             self._bursting = not self._bursting
             hold = self.mean_burst if self._bursting else self.mean_quiet
             self._switch_at += rng.exponential(hold)
+
+    def _emit_tick(self, t0: float, t1: float) -> list[Record]:
+        rng = self._rng()
+        self._advance_state(t0, t1, rng)
         n = rng.poisson(self.current_rate() * (t1 - t0))
         if n == 0:
             return []
@@ -235,6 +369,28 @@ class MmppSource(StreamSource):
             for i in range(n)
         ]
 
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        # Identical RNG order to _emit_tick: state switches, poisson,
+        # uniform(n), integers(n), normal(n).
+        rng = self._rng()
+        self._advance_state(t0, t1, rng)
+        n = int(rng.poisson(self.current_rate() * (t1 - t0)))
+        if n == 0:
+            return RecordBatch.empty(self.origin)
+        times = np.sort(rng.uniform(t0, t1, n))
+        key_idx = rng.integers(0, len(self.keys), n)
+        values = rng.normal(size=n)
+        if self._key_table is None or len(self._key_table) != len(self.keys):
+            self._key_table = tuple(self.keys)
+        return RecordBatch(
+            times,
+            key_idx,
+            values,
+            np.full(n, self.record_bytes, dtype=np.float64),
+            self._key_table,
+            self.origin,
+        )
+
 
 class SensorGridSource(StreamSource):
     """A grid of sensors each reporting periodically with jitter.
@@ -242,6 +398,14 @@ class SensorGridSource(StreamSource):
     Values follow per-sensor slow random walks plus noise — realistic for
     environmental monitoring and easy to aggregate meaningfully (means,
     extremes per region).
+
+    .. note:: This is the one built-in source whose columnar plane is
+       *statistically* rather than bit-for-bit equivalent to its legacy
+       plane: the per-sensor report loop draws (noise, jitter) sensor by
+       sensor, while the batch plane draws them in vectorized rounds
+       across all due sensors — same distributions, same per-tick report
+       counts and report-time sequences per sensor, different RNG
+       interleaving. No digest-pinned scenario uses a sensor grid.
     """
 
     def __init__(
@@ -253,8 +417,17 @@ class SensorGridSource(StreamSource):
         record_bytes: float = 120.0,
         drift_sigma: float = 0.02,
         noise_sigma: float = 0.1,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         if n_sensors < 1:
             raise ValueError("need at least one sensor")
         if report_interval <= 0:
@@ -265,6 +438,7 @@ class SensorGridSource(StreamSource):
         self.noise_sigma = noise_sigma
         self._levels: np.ndarray | None = None
         self._next_report: np.ndarray | None = None
+        self._key_table: tuple[str, ...] | None = None
 
     def _emit_tick(self, t0: float, t1: float) -> list[Record]:
         rng = self._rng()
@@ -296,6 +470,51 @@ class SensorGridSource(StreamSource):
         out.sort(key=lambda r: r.event_time)
         return out
 
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        # Vectorized rounds: each pass reports every still-due sensor
+        # once, drawing its noise and next-report jitter as one array
+        # each. Loop depth is max reports per sensor per tick (usually
+        # 1), not total reports.
+        rng = self._rng()
+        if self._levels is None:
+            self._levels = rng.normal(20.0, 5.0, self.n_sensors)
+            self._next_report = t0 + rng.uniform(
+                0, self.report_interval, self.n_sensors
+            )
+        assert self._next_report is not None
+        self._levels += rng.normal(0, self.drift_sigma, self.n_sensors)
+        if self._key_table is None:
+            self._key_table = tuple(
+                f"{self.name}/s{idx:04d}" for idx in range(self.n_sensors)
+            )
+        times: list[np.ndarray] = []
+        sensor_idx: list[np.ndarray] = []
+        values: list[np.ndarray] = []
+        due = np.flatnonzero(self._next_report < t1)
+        while due.size:
+            report_t = self._next_report[due]
+            times.append(np.maximum(report_t, t0))
+            sensor_idx.append(due)
+            values.append(
+                self._levels[due] + rng.normal(0, self.noise_sigma, due.size)
+            )
+            self._next_report[due] = report_t + self.report_interval * (
+                rng.uniform(0.9, 1.1, due.size)
+            )
+            due = due[self._next_report[due] < t1]
+        if not times:
+            return RecordBatch.empty(self.origin)
+        t = np.concatenate(times)
+        order = np.argsort(t, kind="stable")
+        return RecordBatch(
+            t[order],
+            np.concatenate(sensor_idx)[order],
+            np.concatenate(values)[order],
+            np.full(t.size, self.record_bytes, dtype=np.float64),
+            self._key_table,
+            self.origin,
+        )
+
     @property
     def mean_rate(self) -> float:
         return self.n_sensors / self.report_interval
@@ -310,8 +529,17 @@ class TraceSource(StreamSource):
         trace: Iterable[tuple[float, str, object]],
         tick: float = 1.0,
         record_bytes: float = 200.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         self.trace = sorted(trace, key=lambda e: e[0])
         if not self.trace:
             raise ValueError("trace is empty")
@@ -332,6 +560,39 @@ class TraceSource(StreamSource):
             )
             self._cursor += 1
         return out
+
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        start = self._cursor
+        trace = self.trace
+        cursor = start
+        while cursor < len(trace) and trace[cursor][0] < t1:
+            cursor += 1
+        self._cursor = cursor
+        rows = trace[start:cursor]
+        if not rows:
+            return RecordBatch.empty(self.origin)
+        n = len(rows)
+        t = np.fromiter((row[0] for row in rows), np.float64, n)
+        table: dict[str, int] = {}
+        key_idx = np.fromiter(
+            (table.setdefault(row[1], len(table)) for row in rows),
+            np.int64,
+            n,
+        )
+        payloads = [row[2] for row in rows]
+        if all(type(v) is float for v in payloads):
+            value = np.asarray(payloads, dtype=np.float64)
+        else:
+            value = np.empty(n, dtype=object)
+            value[:] = payloads
+        return RecordBatch(
+            t,
+            key_idx,
+            value,
+            np.full(n, self.record_bytes, dtype=np.float64),
+            tuple(table),
+            self.origin,
+        )
 
     @property
     def exhausted(self) -> bool:
@@ -365,8 +626,17 @@ class ScheduleSource(StreamSource):
         tick: float = 1.0,
         record_bytes: float = 200.0,
         integrate_step: float = 1.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         if integrate_step <= 0:
             raise ValueError("integrate_step must be positive")
         self.rate_fn = rate_fn
@@ -385,6 +655,7 @@ class ScheduleSource(StreamSource):
         self.bytes_fn = bytes_fn
         self.integrate_step = integrate_step
         self._origin_time: float | None = None
+        self._key_table: tuple[str, ...] | None = None
 
     def rate_at(self, t: float) -> float:
         """Arrival rate at virtual time ``t`` (after the source started)."""
@@ -433,6 +704,44 @@ class ScheduleSource(StreamSource):
             for i in range(n)
         ]
 
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        # Same RNG order as _emit_tick: poisson, uniform(n),
+        # choice/integers(n), normal(n) — bytes_fn draws nothing.
+        rng = self._rng()
+        if self._origin_time is None:
+            self._origin_time = t0
+        mean = self._mean_count(t0, t1)
+        n = int(rng.poisson(mean)) if mean > 0 else 0
+        if n == 0:
+            return RecordBatch.empty(self.origin)
+        times = np.sort(rng.uniform(t0, t1, n))
+        if self._key_p is not None:
+            key_idx = np.asarray(
+                rng.choice(len(self.keys), size=n, p=self._key_p),
+                dtype=np.int64,
+            )
+        else:
+            key_idx = rng.integers(0, len(self.keys), n)
+        origin_t = self._origin_time
+        if self.bytes_fn is not None:
+            bytes_fn = self.bytes_fn
+            sizes = np.fromiter(
+                (
+                    max(1.0, float(bytes_fn(float(times[i]) - origin_t)))
+                    for i in range(n)
+                ),
+                np.float64,
+                n,
+            )
+        else:
+            sizes = np.full(n, self.record_bytes, dtype=np.float64)
+        values = rng.normal(size=n)
+        if self._key_table is None or len(self._key_table) != len(self.keys):
+            self._key_table = tuple(self.keys)
+        return RecordBatch(
+            times, key_idx, values, sizes, self._key_table, self.origin
+        )
+
 
 class BurstSource(StreamSource):
     """Poisson arrivals with one scripted overload burst.
@@ -458,8 +767,17 @@ class BurstSource(StreamSource):
         keys: list[str] | None = None,
         tick: float = 1.0,
         record_bytes: float = 200.0,
+        *,
+        emit_batch: bool | None = None,
+        chunk_records: int | None = None,
     ) -> None:
-        super().__init__(name, tick, record_bytes)
+        super().__init__(
+            name,
+            tick,
+            record_bytes,
+            emit_batch=emit_batch,
+            chunk_records=chunk_records,
+        )
         if base_rate < 0 or burst_rate <= 0:
             raise ValueError("rates must be positive (base may be zero)")
         if burst_end <= burst_start:
@@ -470,6 +788,7 @@ class BurstSource(StreamSource):
         self.burst_end = burst_end
         self.keys = keys or ["k0"]
         self._origin_time: float | None = None
+        self._key_table: tuple[str, ...] | None = None
 
     def rate_at(self, t: float) -> float:
         """Arrival rate at virtual time ``t`` (after the source started)."""
@@ -506,3 +825,33 @@ class BurstSource(StreamSource):
             )
             for i in range(n)
         ]
+
+    def _emit_tick_batch(self, t0: float, t1: float) -> RecordBatch:
+        # Same RNG order as _emit_tick: poisson, uniform(n),
+        # integers(n), normal(n).
+        rng = self._rng()
+        if self._origin_time is None:
+            self._origin_time = t0
+        lo = self._origin_time + self.burst_start
+        hi = self._origin_time + self.burst_end
+        burst_overlap = max(0.0, min(t1, hi) - max(t0, lo))
+        mean = (
+            self.base_rate * ((t1 - t0) - burst_overlap)
+            + self.burst_rate * burst_overlap
+        )
+        n = int(rng.poisson(mean)) if mean > 0 else 0
+        if n == 0:
+            return RecordBatch.empty(self.origin)
+        times = np.sort(rng.uniform(t0, t1, n))
+        key_idx = rng.integers(0, len(self.keys), n)
+        values = rng.normal(size=n)
+        if self._key_table is None or len(self._key_table) != len(self.keys):
+            self._key_table = tuple(self.keys)
+        return RecordBatch(
+            times,
+            key_idx,
+            values,
+            np.full(n, self.record_bytes, dtype=np.float64),
+            self._key_table,
+            self.origin,
+        )

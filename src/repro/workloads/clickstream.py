@@ -8,8 +8,6 @@ the bursty, key-skewed counterpart to the smooth sensor workload. Bursts
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.simulation.units import KB
 from repro.streaming.batching import HybridBatchPolicy
 from repro.streaming.dataflow import SiteSpec, StreamJob
@@ -42,7 +40,12 @@ def clickstream_job(
     if bot_filter:
         # Crude bot heuristic: drop obviously automated bursts flagged by
         # the edge (modelled as the value being negative).
-        operators.append(FilterOperator(lambda r: r.value >= -1.0))
+        operators.append(
+            FilterOperator(
+                lambda r: r.value >= -1.0,
+                batch_predicate=lambda b: b.value >= -1.0,
+            )
+        )
     sites = [
         SiteSpec(
             region=region,

@@ -27,7 +27,8 @@ def _rekey_to_region(region: str) -> MapOperator:
     def rekey(r: Record) -> Record:
         return Record(r.event_time, region, r.value, r.origin, r.size_bytes)
 
-    return MapOperator(rekey)
+    # Columnar fast path: rekeying a batch is a zero-copy key-table swap.
+    return MapOperator(rekey, batch_fn=lambda b: b.with_key(region))
 
 
 def sensor_fusion_job(
